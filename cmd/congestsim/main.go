@@ -1,0 +1,141 @@
+// Command congestsim runs one distributed algorithm on one graph family on
+// the CONGEST simulator and reports rounds (measured/sync/charged),
+// messages, and result checks.
+//
+// Usage:
+//
+//	congestsim -graph grid:16x16 -algo mst [-seed 1] [-parts 16]
+//
+// Graphs: grid:RxC, torus:RxC, wheel:N, cycle:N, path:N, complete:N,
+// ktree:N,K, random:N,M, lb:DELTA,DIAM.
+// Algorithms: bfs, construct, pa, mst, mincut.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"locshort"
+	"locshort/internal/cli"
+	"math/rand"
+	"os"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "congestsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		graphSpec = flag.String("graph", "grid:16x16", "graph family spec")
+		algo      = flag.String("algo", "mst", "bfs | construct | pa | mst | mincut")
+		seed      = flag.Int64("seed", 1, "random seed")
+		parts     = flag.Int("parts", 0, "number of parts (default ~sqrt(n))")
+	)
+	flag.Parse()
+
+	g, rows, err := cli.ParseGraph(*graphSpec, *seed)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("graph %s: %d nodes, %d edges\n", *graphSpec, g.NumNodes(), g.NumEdges())
+
+	p, err := buildPartition(g, rows, *parts, *seed)
+	if err != nil {
+		return err
+	}
+
+	switch *algo {
+	case "bfs":
+		res, err := locshort.BuildBFSTree(g, 16*g.NumNodes())
+		if err != nil {
+			return err
+		}
+		fmt.Printf("BFS tree: depth %d, rounds %d (measured %d + sync %d), messages %d\n",
+			res.Tree.MaxDepth(), res.Rounds.Total(), res.Rounds.Measured, res.Rounds.Sync,
+			res.Stats.Messages)
+	case "construct":
+		res, err := locshort.Construct(g, p, locshort.ConstructOptions{Seed: *seed})
+		if err != nil {
+			return err
+		}
+		q := locshort.Measure(res.Shortcut)
+		fmt.Printf("shortcut: δ'=%d, %d iteration(s), congestion %d, dilation %d, blocks %d\n",
+			res.Delta, res.Iterations, q.Congestion, q.Dilation, q.MaxBlocks)
+		fmt.Printf("rounds %d (measured %d + sync %d + charged %d), messages %d\n",
+			res.Rounds.Total(), res.Rounds.Measured, res.Rounds.Sync, res.Rounds.Charged,
+			res.Messages)
+	case "pa":
+		res, err := locshort.Construct(g, p, locshort.ConstructOptions{Seed: *seed})
+		if err != nil {
+			return err
+		}
+		values := make([]locshort.Payload, g.NumNodes())
+		for v := range values {
+			values[v] = locshort.Payload{1, 0, 0}
+		}
+		pa, err := locshort.PartwiseAggregate(g, res.Routing, locshort.OpSum, values,
+			*seed, true, 64*g.NumNodes()+4096)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("part-wise aggregation (%d parts): %d rounds, %d messages\n",
+			p.NumParts(), pa.Rounds.Measured, pa.Stats.Messages)
+		for i, r := range pa.PartResult {
+			if i >= 8 {
+				fmt.Printf("  ... (%d more parts)\n", len(pa.PartResult)-8)
+				break
+			}
+			fmt.Printf("  part %d: size %d, aggregate %d\n", i, len(p.Parts[i]), r[0])
+		}
+	case "mst":
+		locshort.RandomizeWeights(g, rand.New(rand.NewSource(*seed)))
+		_, want := locshort.Kruskal(g)
+		res, err := locshort.MST(g, locshort.MSTOptions{
+			Provider: locshort.ProviderDistributed, Seed: *seed,
+		})
+		if err != nil {
+			return err
+		}
+		ok := "== Kruskal"
+		if d := res.Weight - want; d > 1e-9 || d < -1e-9 {
+			ok = "MISMATCH"
+		}
+		fmt.Printf("MST: weight %.4f (%s), %d phases\n", res.Weight, ok, res.Phases)
+		fmt.Printf("rounds %d (measured %d + sync %d + charged %d), messages %d\n",
+			res.Rounds.Total(), res.Rounds.Measured, res.Rounds.Sync, res.Rounds.Charged,
+			res.Messages)
+	case "mincut":
+		exact, err := locshort.StoerWagner(g)
+		if err != nil {
+			return err
+		}
+		res, err := locshort.MinCut(g, locshort.MinCutOptions{
+			Seed: *seed,
+			MST:  locshort.MSTOptions{Provider: locshort.ProviderCentral},
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("min cut: tree-packing %d vs Stoer-Wagner %.0f, %d trees, rounds %d\n",
+			res.Value, exact, res.Trees, res.Rounds.Total())
+	default:
+		return fmt.Errorf("unknown algorithm %q", *algo)
+	}
+	return nil
+}
+
+func buildPartition(g *locshort.Graph, rows [][]int, parts int, seed int64) (*locshort.Partition, error) {
+	if rows != nil {
+		return locshort.NewPartition(g, rows)
+	}
+	if parts == 0 {
+		parts = 1
+		for parts*parts < g.NumNodes() {
+			parts++
+		}
+	}
+	return locshort.BFSBlobs(g, parts, rand.New(rand.NewSource(seed+99)))
+}

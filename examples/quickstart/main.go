@@ -1,0 +1,64 @@
+// Quickstart: build a low-congestion shortcut on a planar grid network,
+// measure its quality, and compare it against the Theorem 1.2 bounds and
+// the folklore D+sqrt(n) baseline.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"locshort"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	rng := rand.New(rand.NewSource(1))
+
+	// A 32x32 grid: planar, so its minor density is below 3.
+	g := locshort.Grid(32, 32)
+	diam, err := locshort.Diameter(g)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("network: %d nodes, %d edges, diameter %d (planar, δ < 3)\n",
+		g.NumNodes(), g.NumEdges(), diam)
+
+	// Partition the nodes into 32 connected parts.
+	p, err := locshort.BFSBlobs(g, 32, rng)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("partition: %d connected parts\n", p.NumParts())
+
+	// The Theorem 3.1 construction with the parameter-free doubling search.
+	res, err := locshort.Build(g, p, locshort.BuildOptions{})
+	if err != nil {
+		return err
+	}
+	q := locshort.Measure(res.Shortcut)
+	fmt.Printf("\ntheorem shortcut (accepted δ' = %d, %d iteration(s), tree depth %d):\n",
+		res.Delta, res.Iterations, res.TreeDepth)
+	fmt.Printf("  congestion %4d   (bound c·iters         = %d)\n",
+		q.Congestion, res.CongestionThreshold*res.Iterations)
+	fmt.Printf("  dilation   %4d   (bound (b+1)(2D+1)     = %d)\n",
+		q.Dilation, (res.BlockBudget+1)*(2*res.TreeDepth+1))
+	fmt.Printf("  blocks     %4d   (bound b+1             = %d)\n",
+		q.MaxBlocks, res.BlockBudget+1)
+	fmt.Printf("  quality    %4d   (= congestion + dilation)\n", q.Value())
+
+	// The Section 1.3 baseline for comparison.
+	triv, err := locshort.TrivialShortcut(g, p, nil)
+	if err != nil {
+		return err
+	}
+	tq := locshort.Measure(triv)
+	fmt.Printf("\nD+√n baseline: congestion %d, dilation %d, quality %d\n",
+		tq.Congestion, tq.Dilation, tq.Value())
+	return nil
+}

@@ -1,0 +1,160 @@
+// Package bench is the experiment harness that regenerates every
+// quantitative claim of the paper: one registered experiment per theorem,
+// lemma, observation, corollary, and ablation, each emitting a table whose
+// rows are reproduced verbatim in EXPERIMENTS.md. cmd/shortcutbench and the
+// repository-level benchmarks are thin wrappers around this registry.
+package bench
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Config tunes an experiment run.
+type Config struct {
+	// Quick shrinks instance sizes for use inside unit tests and
+	// benchmarks; full-size runs feed EXPERIMENTS.md.
+	Quick bool
+	// Seed drives all randomness; tables in EXPERIMENTS.md use Seed 1.
+	Seed int64
+}
+
+// Table is an experiment's tabular result.
+type Table struct {
+	// ID is the experiment identifier (E1..E10, A1..A3).
+	ID string
+	// Title names the experiment; Claim restates the paper's claim being
+	// checked; Note records methodology caveats.
+	Title string
+	Claim string
+	Note  string
+	// Columns and Rows hold the payload.
+	Columns []string
+	Rows    [][]string
+}
+
+// AddRow appends a row, formatting every cell with %v.
+func (t *Table) AddRow(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmtFloat(v)
+		case bool:
+			if v {
+				row[i] = "yes"
+			} else {
+				row[i] = "NO"
+			}
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+func fmtFloat(v float64) string {
+	s := fmt.Sprintf("%.2f", v)
+	return s
+}
+
+// Violations returns the rows that contain a failed bound check (a "NO"
+// cell), used by tests to assert that every claim holds.
+func (t *Table) Violations() [][]string {
+	var bad [][]string
+	for _, row := range t.Rows {
+		for _, cell := range row {
+			if cell == "NO" {
+				bad = append(bad, row)
+				break
+			}
+		}
+	}
+	return bad
+}
+
+// String renders the table as GitHub-flavored markdown.
+func (t *Table) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "### %s — %s\n\n", t.ID, t.Title)
+	if t.Claim != "" {
+		fmt.Fprintf(&b, "Claim: %s\n\n", t.Claim)
+	}
+	width := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		width[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(width) && len(cell) > width[i] {
+				width[i] = len(cell)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		b.WriteString("|")
+		for i := range t.Columns {
+			cell := ""
+			if i < len(cells) {
+				cell = cells[i]
+			}
+			fmt.Fprintf(&b, " %-*s |", width[i], cell)
+		}
+		b.WriteString("\n")
+	}
+	writeRow(t.Columns)
+	b.WriteString("|")
+	for i := range t.Columns {
+		b.WriteString(strings.Repeat("-", width[i]+2) + "|")
+	}
+	b.WriteString("\n")
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	if t.Note != "" {
+		fmt.Fprintf(&b, "\n%s\n", t.Note)
+	}
+	return b.String()
+}
+
+// Experiment is a registered, runnable reproduction of one paper claim.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func(Config) (*Table, error)
+}
+
+var registry = map[string]Experiment{}
+
+func register(e Experiment) {
+	if _, dup := registry[e.ID]; dup {
+		panic("bench: duplicate experiment " + e.ID)
+	}
+	registry[e.ID] = e
+}
+
+// All returns every registered experiment ordered by ID (E* before A*).
+func All() []Experiment {
+	out := make([]Experiment, 0, len(registry))
+	for _, e := range registry {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		pi, pj := out[i].ID[0], out[j].ID[0]
+		if pi != pj {
+			return pi == 'E' // experiments before ablations
+		}
+		if len(out[i].ID) != len(out[j].ID) {
+			return len(out[i].ID) < len(out[j].ID)
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out
+}
+
+// ByID looks an experiment up.
+func ByID(id string) (Experiment, bool) {
+	e, ok := registry[id]
+	return e, ok
+}

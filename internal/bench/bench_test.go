@@ -1,0 +1,75 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "A1", "A2", "A3", "A4"}
+	all := All()
+	if len(all) != len(want) {
+		t.Fatalf("registry has %d experiments, want %d", len(all), len(want))
+	}
+	for _, id := range want {
+		if _, ok := ByID(id); !ok {
+			t.Errorf("experiment %s not registered", id)
+		}
+	}
+	// Ordering: E* ascending, then A*.
+	for i, e := range all {
+		if e.ID != want[i] {
+			t.Errorf("All()[%d] = %s, want %s", i, e.ID, want[i])
+		}
+	}
+}
+
+func TestByIDUnknown(t *testing.T) {
+	if _, ok := ByID("E99"); ok {
+		t.Error("ByID returned a phantom experiment")
+	}
+}
+
+func TestTableFormatting(t *testing.T) {
+	tab := &Table{
+		ID:      "T",
+		Title:   "demo",
+		Claim:   "none",
+		Columns: []string{"a", "long-column"},
+	}
+	tab.AddRow(1, 2.5)
+	tab.AddRow(true, false)
+	s := tab.String()
+	for _, want := range []string{"### T — demo", "| a ", "long-column", "2.50", "yes", "NO"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("table output missing %q:\n%s", want, s)
+		}
+	}
+	if len(tab.Violations()) != 1 {
+		t.Errorf("Violations() = %d rows, want 1", len(tab.Violations()))
+	}
+}
+
+// TestAllExperimentsQuick runs every registered experiment in quick mode and
+// asserts that no claimed bound is violated: this is the repository's
+// master "the paper's claims hold" test.
+func TestAllExperimentsQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiments take a few seconds; skipped with -short")
+	}
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			tab, err := e.Run(Config{Quick: true, Seed: 1})
+			if err != nil {
+				t.Fatalf("%s error = %v", e.ID, err)
+			}
+			if len(tab.Rows) == 0 {
+				t.Fatalf("%s produced no rows", e.ID)
+			}
+			for _, row := range tab.Violations() {
+				t.Errorf("%s bound violated: %v", e.ID, row)
+			}
+		})
+	}
+}

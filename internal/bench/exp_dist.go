@@ -1,0 +1,278 @@
+package bench
+
+import (
+	"fmt"
+
+	"locshort/internal/dist"
+	"locshort/internal/graph"
+	"locshort/internal/partition"
+	"locshort/internal/shortcut"
+)
+
+func init() {
+	register(Experiment{ID: "E3", Title: "Theorem 1.5: distributed construction rounds scale as Õ(δD)", Run: runE3})
+	register(Experiment{ID: "E6", Title: "Corollary 1.6: distributed MST in Õ(δD) rounds", Run: runE6})
+	register(Experiment{ID: "E7", Title: "Corollary 1.7: distributed min-cut, exactness and rounds", Run: runE7})
+	register(Experiment{ID: "E8", Title: "Section 2: part-wise aggregation and the wheel example", Run: runE8})
+}
+
+// runE3 sweeps the distributed construction along two axes: growing
+// diameter at fixed delta (grids) and growing delta at bounded diameter
+// (k-trees). The normalized column total/(δ'·depth·log₂n) should stay flat.
+func runE3(cfg Config) (*Table, error) {
+	t := &Table{
+		ID:    "E3",
+		Title: "Theorem 1.5 — distributed construction, rounds vs δ·D",
+		Claim: "a shortcut of quality Õ(δD) is computed in Õ(δD) rounds",
+		Note: "measured = simulated protocol rounds (BFS + cut waves + block broadcasts); sync = harness phase barriers " +
+			"charged at depth+1 each; charged = the [HHW18] Lemma 2.8 block-verification budget b(2D+1)+c per iteration " +
+			"plus routing installation (see DESIGN.md §2.2). norm = total/(δ'·depth·log₂n).",
+		Columns: []string{"family", "n", "depth", "δ'", "iters",
+			"measured", "sync", "charged", "total", "norm"},
+	}
+	gridSides := []int{8, 12, 16, 24, 32}
+	ktreeKs := []int{2, 3, 4, 6}
+	ktreeN := 240
+	if cfg.Quick {
+		gridSides = []int{8, 12}
+		ktreeKs = []int{2, 4}
+		ktreeN = 80
+	}
+	addRow := func(name string, g *graph.Graph, p *partition.Partition) error {
+		res, err := dist.Construct(g, p, dist.ConstructOptions{Seed: cfg.Seed})
+		if err != nil {
+			return err
+		}
+		depth := res.Tree.MaxDepth()
+		logn := ceilLog2(g.NumNodes())
+		norm := float64(res.Rounds.Total()) / (float64(res.Delta) * float64(depth) * float64(logn))
+		t.AddRow(name, g.NumNodes(), depth, res.Delta, res.Iterations,
+			res.Rounds.Measured, res.Rounds.Sync, res.Rounds.Charged, res.Rounds.Total(), norm)
+		return nil
+	}
+	for _, s := range gridSides {
+		g := graph.Grid(s, s)
+		p, err := partition.BFSBlobs(g, s, newRand(cfg.Seed+int64(s)))
+		if err != nil {
+			return nil, err
+		}
+		if err := addRow(fmt.Sprintf("grid %dx%d", s, s), g, p); err != nil {
+			return nil, err
+		}
+	}
+	for _, k := range ktreeKs {
+		g := graph.KTree(ktreeN, k, newRand(cfg.Seed+100+int64(k)))
+		p, err := partition.BFSBlobs(g, ktreeN/12, newRand(cfg.Seed+200+int64(k)))
+		if err != nil {
+			return nil, err
+		}
+		if err := addRow(fmt.Sprintf("%d-tree n=%d", k, ktreeN), g, p); err != nil {
+			return nil, err
+		}
+	}
+	return t, nil
+}
+
+// runE6 compares Borůvka-over-shortcuts against the D+sqrt(n) baseline on
+// two planar regimes: grids, where D = Θ(√n) and the baseline wins on
+// constants, and wheels, where D = 2 and the Õ(δD) shortcuts win by a
+// growing factor — the crossover the corollary is about. Weights are
+// validated against Kruskal on every row.
+func runE6(cfg Config) (*Table, error) {
+	t := &Table{
+		ID:    "E6",
+		Title: "Corollary 1.6 — distributed MST rounds: Õ(δD) shortcuts vs D+√n baseline",
+		Claim: "MST completes in Õ(δD) rounds with theorem shortcuts; the trivial baseline pays Õ(D+√n); shortcuts win exactly where D ≪ √n",
+		Note: "both families are planar (δ<3). Grids have D=Θ(√n): both methods are Θ~(√n) and the baseline's " +
+			"constants win (ratio < 1). Wheels have D=2: the baseline pays Θ(√n) per Borůvka phase while shortcuts " +
+			"pay polylog, so the ratio grows with n and crosses 1 — who wins flips exactly as the corollary " +
+			"predicts. 'dist' simulates the Theorem 1.5 construction per phase; 'central' charges it at the " +
+			"worst-case Lemma 2.8 budget (paper constants, footnote 3 calls them loose); 'central*' charges the " +
+			"measured shortcut quality Õ(Q) that Lemma 2.8 actually delivers.",
+		Columns: []string{"family", "n", "D", "rounds dist", "rounds central", "rounds central*", "rounds trivial",
+			"trivial/central*", "weight=Kruskal"},
+	}
+	type inst struct {
+		name    string
+		g       *graph.Graph
+		runDist bool
+	}
+	var insts []inst
+	gridSides := []int{8, 12, 16, 20}
+	wheelSizes := []int{256, 1024, 4096, 8192}
+	distLimit := 16
+	if cfg.Quick {
+		gridSides = []int{6, 8}
+		wheelSizes = []int{64, 256}
+		distLimit = 8
+	}
+	for _, s := range gridSides {
+		insts = append(insts, inst{name: fmt.Sprintf("grid %dx%d", s, s), g: graph.Grid(s, s), runDist: s <= distLimit})
+	}
+	for _, n := range wheelSizes {
+		insts = append(insts, inst{name: fmt.Sprintf("wheel n=%d", n), g: graph.Wheel(n), runDist: n <= 300})
+	}
+	for i, in := range insts {
+		g := in.g
+		graph.RandomizeWeights(g, newRand(cfg.Seed+int64(i)))
+		_, kw := graph.Kruskal(g)
+		diam, err := graph.Diameter(g)
+		if err != nil {
+			return nil, err
+		}
+		match := true
+		roundsOf := func(kind dist.ProviderKind) (int, error) {
+			res, err := dist.MST(g, dist.MSTOptions{Provider: kind, Seed: cfg.Seed + int64(i)})
+			if err != nil {
+				return 0, err
+			}
+			if diff := res.Weight - kw; diff > 1e-9 || diff < -1e-9 {
+				match = false
+			}
+			return res.Rounds.Total(), nil
+		}
+		distCell := "-"
+		if in.runDist {
+			r, err := roundsOf(dist.ProviderDistributed)
+			if err != nil {
+				return nil, err
+			}
+			distCell = fmt.Sprintf("%d", r)
+		}
+		centralRounds, err := roundsOf(dist.ProviderCentral)
+		if err != nil {
+			return nil, err
+		}
+		adaptiveRounds, err := roundsOf(dist.ProviderCentralAdaptive)
+		if err != nil {
+			return nil, err
+		}
+		trivialRounds, err := roundsOf(dist.ProviderTrivial)
+		if err != nil {
+			return nil, err
+		}
+		ratio := float64(trivialRounds) / float64(maxInt(adaptiveRounds, 1))
+		t.AddRow(in.name, g.NumNodes(), diam, distCell, centralRounds, adaptiveRounds, trivialRounds, ratio, match)
+	}
+	return t, nil
+}
+
+// runE7 validates the tree-packing min-cut against Stoer-Wagner on families
+// with known small cuts.
+func runE7(cfg Config) (*Table, error) {
+	t := &Table{
+		ID:    "E7",
+		Title: "Corollary 1.7 — distributed min-cut via tree packing",
+		Claim: "exact min cut in Õ(δ^{O(1)}·D) rounds on bounded-density families",
+		Note: "R = 2⌈log₂n⌉+4 random spanning trees, each a full shortcut-based MST run; " +
+			"per-tree 1-respecting evaluation charged per DESIGN.md §2.5.",
+		Columns: []string{"family", "n", "m", "Stoer-Wagner", "tree-packing", "exact",
+			"trees", "rounds total"},
+	}
+	type inst struct {
+		name string
+		g    *graph.Graph
+	}
+	insts := []inst{
+		{name: "cycle n=32", g: graph.Cycle(32)},
+		{name: "grid 7x7", g: graph.Grid(7, 7)},
+		{name: "torus 5x5", g: graph.Torus(5, 5)},
+		{name: "2×K6 bridge", g: twoCliquesBridge()},
+	}
+	if cfg.Quick {
+		insts = insts[:2]
+	}
+	for _, in := range insts {
+		sw, err := graph.StoerWagner(in.g)
+		if err != nil {
+			return nil, err
+		}
+		res, err := dist.MinCut(in.g, dist.MinCutOptions{
+			Seed: cfg.Seed + 17,
+			MST:  dist.MSTOptions{Provider: dist.ProviderCentral},
+		})
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(in.name, in.g.NumNodes(), in.g.NumEdges(), sw, res.Value,
+			res.Value == int64(sw), res.Trees, res.Rounds.Total())
+	}
+	return t, nil
+}
+
+func twoCliquesBridge() *graph.Graph {
+	g := graph.New(12)
+	for base := 0; base < 12; base += 6 {
+		for u := base; u < base+6; u++ {
+			for v := u + 1; v < base+6; v++ {
+				g.AddEdge(u, v)
+			}
+		}
+	}
+	g.AddEdge(2, 8)
+	return g
+}
+
+// runE8 reproduces the paper's Section 2 wheel example: part-wise
+// aggregation over the rim with and without shortcuts, against the
+// O(congestion + dilation·log n) schedule bound.
+func runE8(cfg Config) (*Table, error) {
+	t := &Table{
+		ID:    "E8",
+		Title: "Section 2 — part-wise aggregation; wheel example (D=2, part diameter Θ(n))",
+		Claim: "with a shortcut PA takes O(c + d·log n) rounds; without, Θ(part diameter)",
+		Columns: []string{"wheel n", "rim diameter", "PA rounds (shortcut)", "PA rounds (none)",
+			"speedup", "c+d·log₂n budget", "within"},
+	}
+	sizes := []int{64, 128, 256, 512}
+	if cfg.Quick {
+		sizes = []int{48, 96}
+	}
+	for _, n := range sizes {
+		g := graph.Wheel(n)
+		p, err := partition.WheelRim(g)
+		if err != nil {
+			return nil, err
+		}
+		res, err := shortcut.Build(g, p, shortcut.Options{})
+		if err != nil {
+			return nil, err
+		}
+		q := shortcut.Measure(res.Shortcut)
+		routing, err := dist.NewPARouting(res.Shortcut)
+		if err != nil {
+			return nil, err
+		}
+		values := make([]dist.Payload, g.NumNodes())
+		for v := range values {
+			values[v] = dist.Payload{1, 0, 0}
+		}
+		pa, err := dist.PartwiseAggregate(g, routing, dist.OpSum, values, cfg.Seed, true, 64*n+4096)
+		if err != nil {
+			return nil, err
+		}
+		empty, err := dist.NewPARouting(shortcut.NewEmpty(g, p))
+		if err != nil {
+			return nil, err
+		}
+		paEmpty, err := dist.PartwiseAggregate(g, empty, dist.OpSum, values, cfg.Seed, true, 64*n+4096)
+		if err != nil {
+			return nil, err
+		}
+		rimDiam := (n - 1) / 2
+		budget := q.Congestion + q.Dilation*ceilLog2(n)
+		// Convergecast+broadcast traverses the part tree twice.
+		budget = 2*budget + 4
+		speedup := float64(paEmpty.Rounds.Measured) / float64(maxInt(pa.Rounds.Measured, 1))
+		t.AddRow(n, rimDiam, pa.Rounds.Measured, paEmpty.Rounds.Measured,
+			speedup, budget, pa.Rounds.Measured <= budget)
+	}
+	return t, nil
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

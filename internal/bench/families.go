@@ -1,0 +1,90 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+
+	"locshort/internal/graph"
+	"locshort/internal/minor"
+	"locshort/internal/partition"
+)
+
+// family is a named workload: a graph, a partition, and the analytic minor
+// density bound used to instantiate the paper's parameters.
+type family struct {
+	name string
+	g    *graph.Graph
+	p    *partition.Partition
+	// deltaBound is the smallest integer analytic upper bound on delta(G)
+	// (Lemma 3.3 and friends).
+	deltaBound int
+}
+
+// standardFamilies builds the benchmark families shared by E1/E2/E5:
+// a planar grid, a genus-1 torus, k-trees of growing treewidth, a wheel,
+// and the Lemma 3.2 lower-bound topology. Partition granularity is about
+// sqrt(n) parts via BFS blobs (rows for the lower-bound instance, rim for
+// the wheel).
+func standardFamilies(cfg Config) ([]family, error) {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	gridSide, torusSide, ktreeN, wheelN := 24, 16, 300, 200
+	lbDelta, lbDiam := 6, 24
+	if cfg.Quick {
+		gridSide, torusSide, ktreeN, wheelN = 10, 8, 80, 60
+		lbDelta, lbDiam = 5, 12
+	}
+	var fams []family
+
+	grid := graph.Grid(gridSide, gridSide)
+	gp, err := partition.BFSBlobs(grid, gridSide, rng)
+	if err != nil {
+		return nil, err
+	}
+	fams = append(fams, family{name: fmt.Sprintf("grid %dx%d", gridSide, gridSide), g: grid, p: gp, deltaBound: 3})
+
+	torus := graph.Torus(torusSide, torusSide)
+	tp, err := partition.BFSBlobs(torus, torusSide, rng)
+	if err != nil {
+		return nil, err
+	}
+	// Genus 1: delta <= (3+sqrt(33))/2 < 4.38 (Lemma 3.3).
+	fams = append(fams, family{name: fmt.Sprintf("torus %dx%d", torusSide, torusSide), g: torus, p: tp, deltaBound: 5})
+
+	for _, k := range []int{2, 4} {
+		kt := graph.KTree(ktreeN, k, rng)
+		kp, err := partition.BFSBlobs(kt, ktreeN/12, rng)
+		if err != nil {
+			return nil, err
+		}
+		fams = append(fams, family{name: fmt.Sprintf("%d-tree n=%d", k, ktreeN), g: kt, p: kp, deltaBound: k})
+	}
+
+	wheel := graph.Wheel(wheelN)
+	wp, err := partition.WheelRim(wheel)
+	if err != nil {
+		return nil, err
+	}
+	fams = append(fams, family{name: fmt.Sprintf("wheel n=%d", wheelN), g: wheel, p: wp, deltaBound: 3})
+
+	lb, err := graph.LowerBound(lbDelta, lbDiam)
+	if err != nil {
+		return nil, err
+	}
+	lp, err := partition.New(lb.G, lb.Rows)
+	if err != nil {
+		return nil, err
+	}
+	fams = append(fams, family{
+		name:       fmt.Sprintf("LB(%d,%d) rows", lbDelta, lbDiam),
+		g:          lb.G,
+		p:          lp,
+		deltaBound: lbDelta,
+	})
+	return fams, nil
+}
+
+// greedyDelta returns the greedy dense-minor lower bound on delta(G).
+func greedyDelta(g *graph.Graph, seed int64) float64 {
+	m := minor.GreedyDenseMinor(g, rand.New(rand.NewSource(seed)))
+	return m.Density()
+}

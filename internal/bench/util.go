@@ -1,0 +1,24 @@
+package bench
+
+import (
+	"math"
+	"math/bits"
+	"math/rand"
+)
+
+func ceilLog2(x int) int {
+	if x <= 1 {
+		return 0
+	}
+	return bits.Len(uint(x - 1))
+}
+
+func isqrt(n int) int {
+	s := int(math.Sqrt(float64(n)))
+	if s < 1 {
+		s = 1
+	}
+	return s
+}
+
+func newRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }

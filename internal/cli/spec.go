@@ -1,0 +1,106 @@
+// Package cli holds helpers shared by the command-line tools: parsing
+// graph-family specs like "grid:16x16" or "ktree:200,4" into graphs.
+package cli
+
+import (
+	"fmt"
+	"math/rand"
+	"strconv"
+	"strings"
+
+	"locshort/internal/graph"
+)
+
+// ParseGraph builds a graph from a family spec. Supported kinds:
+//
+//	grid:RxC  torus:RxC  wheel:N  cycle:N  path:N  complete:N
+//	ktree:N,K  random:N,M  lb:DELTA,DIAM
+//
+// For lb it also returns the row parts; rows is nil otherwise.
+func ParseGraph(spec string, seed int64) (g *graph.Graph, rows [][]int, err error) {
+	kind, arg, _ := strings.Cut(spec, ":")
+	dims := func(sep string) (int, int, error) {
+		a, b, ok := strings.Cut(arg, sep)
+		if !ok {
+			return 0, 0, fmt.Errorf("cli: spec %q needs %q-separated sizes", spec, sep)
+		}
+		x, err := strconv.Atoi(a)
+		if err != nil {
+			return 0, 0, fmt.Errorf("cli: spec %q: %w", spec, err)
+		}
+		y, err := strconv.Atoi(b)
+		if err != nil {
+			return 0, 0, fmt.Errorf("cli: spec %q: %w", spec, err)
+		}
+		return x, y, nil
+	}
+	one := func() (int, error) {
+		n, err := strconv.Atoi(arg)
+		if err != nil {
+			return 0, fmt.Errorf("cli: spec %q: %w", spec, err)
+		}
+		return n, nil
+	}
+	switch kind {
+	case "grid":
+		r, c, err := dims("x")
+		if err != nil {
+			return nil, nil, err
+		}
+		return graph.Grid(r, c), nil, nil
+	case "torus":
+		r, c, err := dims("x")
+		if err != nil {
+			return nil, nil, err
+		}
+		return graph.Torus(r, c), nil, nil
+	case "wheel":
+		n, err := one()
+		if err != nil {
+			return nil, nil, err
+		}
+		return graph.Wheel(n), nil, nil
+	case "cycle":
+		n, err := one()
+		if err != nil {
+			return nil, nil, err
+		}
+		return graph.Cycle(n), nil, nil
+	case "path":
+		n, err := one()
+		if err != nil {
+			return nil, nil, err
+		}
+		return graph.Path(n), nil, nil
+	case "complete":
+		n, err := one()
+		if err != nil {
+			return nil, nil, err
+		}
+		return graph.Complete(n), nil, nil
+	case "ktree":
+		n, k, err := dims(",")
+		if err != nil {
+			return nil, nil, err
+		}
+		return graph.KTree(n, k, rand.New(rand.NewSource(seed))), nil, nil
+	case "random":
+		n, m, err := dims(",")
+		if err != nil {
+			return nil, nil, err
+		}
+		return graph.RandomConnected(n, m, rand.New(rand.NewSource(seed))), nil, nil
+	case "lb":
+		d, dd, err := dims(",")
+		if err != nil {
+			return nil, nil, err
+		}
+		lb, err := graph.LowerBound(d, dd)
+		if err != nil {
+			return nil, nil, err
+		}
+		return lb.G, lb.Rows, nil
+	default:
+		return nil, nil, fmt.Errorf("cli: unknown graph kind %q", kind)
+	}
+}

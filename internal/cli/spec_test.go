@@ -1,0 +1,78 @@
+package cli
+
+import (
+	"testing"
+)
+
+func TestParseGraphShapes(t *testing.T) {
+	tests := []struct {
+		spec      string
+		wantNodes int
+		wantRows  bool
+	}{
+		{spec: "grid:4x5", wantNodes: 20},
+		{spec: "torus:3x4", wantNodes: 12},
+		{spec: "wheel:10", wantNodes: 10},
+		{spec: "cycle:9", wantNodes: 9},
+		{spec: "path:6", wantNodes: 6},
+		{spec: "complete:5", wantNodes: 5},
+		{spec: "ktree:12,3", wantNodes: 12},
+		{spec: "random:15,20", wantNodes: 15},
+		{spec: "lb:5,12", wantNodes: 174, wantRows: true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.spec, func(t *testing.T) {
+			g, rows, err := ParseGraph(tt.spec, 1)
+			if err != nil {
+				t.Fatalf("ParseGraph(%q) error = %v", tt.spec, err)
+			}
+			if g.NumNodes() != tt.wantNodes {
+				t.Errorf("nodes = %d, want %d", g.NumNodes(), tt.wantNodes)
+			}
+			if (rows != nil) != tt.wantRows {
+				t.Errorf("rows present = %v, want %v", rows != nil, tt.wantRows)
+			}
+			if err := g.Validate(); err != nil {
+				t.Errorf("Validate = %v", err)
+			}
+		})
+	}
+}
+
+func TestParseGraphErrors(t *testing.T) {
+	specs := []string{
+		"",
+		"unknown:5",
+		"grid:4",       // missing dimension
+		"grid:4xfive",  // non-numeric
+		"wheel:",       // empty size
+		"wheel:banana", // non-numeric
+		"ktree:12",     // missing k
+		"lb:3,100",     // deltaPrime too small for LowerBound
+	}
+	for _, spec := range specs {
+		if _, _, err := ParseGraph(spec, 1); err == nil {
+			t.Errorf("ParseGraph(%q) succeeded, want error", spec)
+		}
+	}
+}
+
+func TestParseGraphDeterministicSeed(t *testing.T) {
+	a, _, err := ParseGraph("random:20,40", 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _, err := ParseGraph("random:20,40", 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.NumEdges() != b.NumEdges() {
+		t.Fatal("same seed produced different graphs")
+	}
+	for id := 0; id < a.NumEdges(); id++ {
+		ea, eb := a.Edge(id), b.Edge(id)
+		if ea.U != eb.U || ea.V != eb.V {
+			t.Fatalf("edge %d differs between runs with the same seed", id)
+		}
+	}
+}

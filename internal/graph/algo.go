@@ -1,0 +1,168 @@
+package graph
+
+// BFSResult holds the outcome of a breadth-first search.
+type BFSResult struct {
+	// Dist[v] is the hop distance from the source set, or -1 if unreachable.
+	Dist []int
+	// Parent[v] is the BFS-tree parent of v, or -1 for sources/unreachable.
+	Parent []int
+	// ParentEdge[v] is the edge ID connecting v to Parent[v], or -1.
+	ParentEdge []int
+	// Order lists reached nodes in nondecreasing distance.
+	Order []int
+}
+
+// BFS runs a breadth-first search from src.
+func BFS(g *Graph, src int) *BFSResult { return MultiBFS(g, []int{src}) }
+
+// MultiBFS runs a breadth-first search from a set of sources simultaneously.
+func MultiBFS(g *Graph, sources []int) *BFSResult {
+	n := g.NumNodes()
+	r := &BFSResult{
+		Dist:       make([]int, n),
+		Parent:     make([]int, n),
+		ParentEdge: make([]int, n),
+		Order:      make([]int, 0, n),
+	}
+	for v := 0; v < n; v++ {
+		r.Dist[v] = -1
+		r.Parent[v] = -1
+		r.ParentEdge[v] = -1
+	}
+	queue := make([]int, 0, n)
+	for _, s := range sources {
+		if r.Dist[s] == -1 {
+			r.Dist[s] = 0
+			queue = append(queue, s)
+		}
+	}
+	for head := 0; head < len(queue); head++ {
+		v := queue[head]
+		r.Order = append(r.Order, v)
+		for _, a := range g.Neighbors(v) {
+			if r.Dist[a.To] == -1 {
+				r.Dist[a.To] = r.Dist[v] + 1
+				r.Parent[a.To] = v
+				r.ParentEdge[a.To] = a.Edge
+				queue = append(queue, a.To)
+			}
+		}
+	}
+	return r
+}
+
+// Eccentricity returns the maximum finite BFS distance from v and the
+// farthest node attaining it. Unreachable nodes are ignored; an isolated
+// node has eccentricity 0 with itself as the farthest node.
+func Eccentricity(g *Graph, v int) (ecc, farthest int) {
+	r := BFS(g, v)
+	ecc, farthest = 0, v
+	for u, d := range r.Dist {
+		if d > ecc {
+			ecc, farthest = d, u
+		}
+	}
+	return ecc, farthest
+}
+
+// Connected reports whether the graph is connected. The empty graph and the
+// single-node graph count as connected.
+func Connected(g *Graph) bool {
+	if g.NumNodes() <= 1 {
+		return true
+	}
+	return len(BFS(g, 0).Order) == g.NumNodes()
+}
+
+// Components returns a component label per node (labels are dense, starting
+// at 0) and the number of components.
+func Components(g *Graph) (label []int, count int) {
+	n := g.NumNodes()
+	label = make([]int, n)
+	for v := range label {
+		label[v] = -1
+	}
+	for v := 0; v < n; v++ {
+		if label[v] != -1 {
+			continue
+		}
+		r := BFS(g, v)
+		for _, u := range r.Order {
+			label[u] = count
+		}
+		count++
+	}
+	return label, count
+}
+
+// Diameter returns the exact hop diameter of a connected graph by running a
+// BFS from every node. It returns ErrDisconnected for disconnected graphs.
+// Cost is O(n*m); intended for the moderate instance sizes used in the
+// experiments.
+func Diameter(g *Graph) (int, error) {
+	if !Connected(g) {
+		return 0, ErrDisconnected
+	}
+	diam := 0
+	for v := 0; v < g.NumNodes(); v++ {
+		if ecc, _ := Eccentricity(g, v); ecc > diam {
+			diam = ecc
+		}
+	}
+	return diam, nil
+}
+
+// DiameterApprox returns lower and upper bounds on the diameter of a
+// connected graph using the double-sweep heuristic: lo is the distance found
+// by two BFS sweeps, hi is twice the eccentricity of the second sweep's
+// source (a valid upper bound since ecc(v) <= diam <= 2*ecc(v)).
+func DiameterApprox(g *Graph) (lo, hi int, err error) {
+	if !Connected(g) {
+		return 0, 0, ErrDisconnected
+	}
+	if g.NumNodes() <= 1 {
+		return 0, 0, nil
+	}
+	_, far := Eccentricity(g, 0)
+	ecc, _ := Eccentricity(g, far)
+	return ecc, 2 * ecc, nil
+}
+
+// InducedDiameter returns the exact diameter of the subgraph induced by the
+// node set nodes, augmented with the extra edges extra (given as node pairs;
+// both endpoints must be members of nodes). It returns -1 if the augmented
+// subgraph is disconnected or nodes is empty. This is the measurement used
+// for shortcut dilation: the diameter of G[P_i] + H_i.
+func InducedDiameter(g *Graph, nodes []int, extra [][2]int) int {
+	if len(nodes) == 0 {
+		return -1
+	}
+	idx := make(map[int]int, len(nodes))
+	for i, v := range nodes {
+		idx[v] = i
+	}
+	sub := New(len(nodes))
+	for i, v := range nodes {
+		for _, a := range g.Neighbors(v) {
+			j, ok := idx[a.To]
+			if ok && i < j {
+				sub.AddEdge(i, j)
+			}
+		}
+	}
+	for _, e := range extra {
+		i, iok := idx[e[0]]
+		j, jok := idx[e[1]]
+		if !iok || !jok {
+			return -1
+		}
+		if i != j {
+			sub.AddEdge(i, j)
+		}
+	}
+	d, err := Diameter(sub)
+	if err != nil {
+		return -1
+	}
+	return d
+}

@@ -1,0 +1,122 @@
+package graph
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestBridgesKnown(t *testing.T) {
+	tests := []struct {
+		name string
+		g    *Graph
+		want int // number of bridges
+	}{
+		{name: "path", g: Path(6), want: 5},
+		{name: "cycle", g: Cycle(6), want: 0},
+		{name: "star", g: Star(5), want: 4},
+		{name: "grid", g: Grid(4, 4), want: 0},
+		{name: "wheel", g: Wheel(8), want: 0},
+		{name: "caterpillar", g: Caterpillar(3, 2), want: 8},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := len(Bridges(tt.g)); got != tt.want {
+				t.Errorf("bridges = %d, want %d", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestBridgesTwoCliques(t *testing.T) {
+	g := New(8)
+	for base := 0; base < 8; base += 4 {
+		for u := base; u < base+4; u++ {
+			for v := u + 1; v < base+4; v++ {
+				g.AddEdge(u, v)
+			}
+		}
+	}
+	bridge := g.AddEdge(1, 5)
+	got := Bridges(g)
+	if len(got) != 1 || got[0] != bridge {
+		t.Errorf("bridges = %v, want [%d]", got, bridge)
+	}
+}
+
+func TestBridgesParallelEdges(t *testing.T) {
+	// A doubled edge is never a bridge.
+	g := New(3)
+	g.AddEdge(0, 1)
+	g.AddEdge(0, 1)
+	single := g.AddEdge(1, 2)
+	got := Bridges(g)
+	if len(got) != 1 || got[0] != single {
+		t.Errorf("bridges = %v, want [%d]", got, single)
+	}
+}
+
+func TestBridgesDisconnected(t *testing.T) {
+	g := New(5)
+	g.AddEdge(0, 1)
+	g.AddEdge(2, 3)
+	g.AddEdge(3, 4)
+	if got := len(Bridges(g)); got != 3 {
+		t.Errorf("bridges = %d, want 3 (per component)", got)
+	}
+}
+
+// bridgesBrute removes each edge and checks connectivity of its component.
+func bridgesBrute(g *Graph) []int {
+	label, _ := Components(g)
+	var out []int
+	for id := 0; id < g.NumEdges(); id++ {
+		e := g.Edge(id)
+		// Rebuild without edge id.
+		h := New(g.NumNodes())
+		for j := 0; j < g.NumEdges(); j++ {
+			if j == id {
+				continue
+			}
+			ej := g.Edge(j)
+			h.AddEdge(ej.U, ej.V)
+		}
+		l2, _ := Components(h)
+		// Bridge iff endpoints split into different components.
+		if label[e.U] == label[e.V] && l2[e.U] != l2[e.V] {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// Property: lowlink bridges equal brute-force bridges on random graphs.
+func TestBridgesQuick(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + int(nRaw)%20
+		maxM := n * (n - 1) / 2
+		m := n - 1 + rng.Intn(n)
+		if m > maxM {
+			m = maxM
+		}
+		g := RandomConnected(n, m, rng)
+		got := Bridges(g)
+		want := bridgesBrute(g)
+		sort.Ints(got)
+		sort.Ints(want)
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

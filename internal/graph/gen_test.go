@@ -1,0 +1,226 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestGeneratorShapes(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	tests := []struct {
+		name      string
+		g         *Graph
+		wantNodes int
+		wantEdges int
+	}{
+		{name: "path 1", g: Path(1), wantNodes: 1, wantEdges: 0},
+		{name: "path 5", g: Path(5), wantNodes: 5, wantEdges: 4},
+		{name: "cycle 5", g: Cycle(5), wantNodes: 5, wantEdges: 5},
+		{name: "complete 5", g: Complete(5), wantNodes: 5, wantEdges: 10},
+		{name: "star 5", g: Star(5), wantNodes: 5, wantEdges: 4},
+		{name: "wheel 7", g: Wheel(7), wantNodes: 7, wantEdges: 12},
+		{name: "grid 3x4", g: Grid(3, 4), wantNodes: 12, wantEdges: 17},
+		{name: "torus 3x4", g: Torus(3, 4), wantNodes: 12, wantEdges: 24},
+		{name: "ktree 10/2", g: KTree(10, 2, rng), wantNodes: 10, wantEdges: 3 + 7*2},
+		{name: "ktree 12/4", g: KTree(12, 4, rng), wantNodes: 12, wantEdges: 10 + 7*4},
+		{name: "caterpillar", g: Caterpillar(4, 3), wantNodes: 16, wantEdges: 15},
+		{name: "torus chain 1", g: TorusChain(1, 4), wantNodes: 16, wantEdges: 32},
+		{name: "torus chain 3", g: TorusChain(3, 4), wantNodes: 48, wantEdges: 98},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.g.NumNodes(); got != tt.wantNodes {
+				t.Errorf("NumNodes() = %d, want %d", got, tt.wantNodes)
+			}
+			if got := tt.g.NumEdges(); got != tt.wantEdges {
+				t.Errorf("NumEdges() = %d, want %d", got, tt.wantEdges)
+			}
+			if err := tt.g.Validate(); err != nil {
+				t.Errorf("Validate() = %v", err)
+			}
+			if !Connected(tt.g) {
+				t.Error("generated graph is disconnected")
+			}
+		})
+	}
+}
+
+func TestGridIndexRoundTrip(t *testing.T) {
+	const rows, cols = 3, 7
+	seen := make(map[int]bool)
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			id := GridIndex(r, c, cols)
+			if id < 0 || id >= rows*cols || seen[id] {
+				t.Fatalf("GridIndex(%d,%d) = %d invalid or duplicate", r, c, id)
+			}
+			seen[id] = true
+		}
+	}
+}
+
+func TestTorusIsRegular(t *testing.T) {
+	g := Torus(4, 5)
+	for v := 0; v < g.NumNodes(); v++ {
+		if g.Degree(v) != 4 {
+			t.Errorf("torus Degree(%d) = %d, want 4", v, g.Degree(v))
+		}
+	}
+}
+
+func TestKTreeIsKTree(t *testing.T) {
+	// Every k-tree on n nodes has exactly C(k+1,2) + (n-k-1)*k edges and
+	// every node added after the seed has degree >= k.
+	rng := rand.New(rand.NewSource(11))
+	for _, k := range []int{1, 2, 3, 5} {
+		n := 4 * (k + 2)
+		g := KTree(n, k, rng)
+		wantEdges := k*(k+1)/2 + (n-k-1)*k
+		if g.NumEdges() != wantEdges {
+			t.Errorf("k=%d: edges = %d, want %d", k, g.NumEdges(), wantEdges)
+		}
+		for v := k + 1; v < n; v++ {
+			if g.Degree(v) < k {
+				t.Errorf("k=%d: node %d degree %d < k", k, v, g.Degree(v))
+			}
+		}
+	}
+}
+
+func TestKTreeAttachmentsAreCliques(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	g := KTree(20, 3, rng)
+	// In the generation order, node v > k attaches to a set of 3 mutually
+	// adjacent earlier nodes. Verify mutual adjacency of each node's earlier
+	// neighbors restricted to its first k attachments.
+	for v := 4; v < 20; v++ {
+		var earlier []int
+		for _, a := range g.Neighbors(v) {
+			if a.To < v {
+				earlier = append(earlier, a.To)
+			}
+		}
+		if len(earlier) < 3 {
+			t.Fatalf("node %d has %d earlier neighbors, want >= 3", v, len(earlier))
+		}
+		// The first three adjacency entries are the attachment clique.
+		c := earlier[:3]
+		for i := 0; i < 3; i++ {
+			for j := i + 1; j < 3; j++ {
+				if !g.HasEdge(c[i], c[j]) {
+					t.Errorf("node %d attachment {%d,%d} not adjacent", v, c[i], c[j])
+				}
+			}
+		}
+	}
+}
+
+func TestRandomizeWeights(t *testing.T) {
+	g := Grid(4, 4)
+	RandomizeWeights(g, rand.New(rand.NewSource(9)))
+	seen := make(map[float64]bool)
+	for _, e := range g.Edges() {
+		if e.W <= 0 || e.W >= 1 {
+			t.Errorf("weight %v outside (0,1)", e.W)
+		}
+		if seen[e.W] {
+			t.Errorf("duplicate weight %v", e.W)
+		}
+		seen[e.W] = true
+	}
+}
+
+func TestLowerBoundStructure(t *testing.T) {
+	lb, err := LowerBound(5, 12)
+	if err != nil {
+		t.Fatalf("LowerBound(5,12) error = %v", err)
+	}
+	if lb.Delta != 3 || lb.K != 2 || lb.D != 6 {
+		t.Fatalf("derived (delta,k,D) = (%d,%d,%d), want (3,2,6)", lb.Delta, lb.K, lb.D)
+	}
+	topLen := (lb.Delta-1)*lb.K + 1
+	rowLen := (lb.Delta-1)*lb.D + 1
+	if len(lb.TopPath) != topLen {
+		t.Errorf("top path has %d nodes, want %d", len(lb.TopPath), topLen)
+	}
+	if len(lb.Rows) != rowLen {
+		t.Errorf("%d rows, want %d", len(lb.Rows), rowLen)
+	}
+	for i, row := range lb.Rows {
+		if len(row) != rowLen {
+			t.Errorf("row %d has %d nodes, want %d", i, len(row), rowLen)
+		}
+	}
+	if err := lb.G.Validate(); err != nil {
+		t.Errorf("Validate() = %v", err)
+	}
+	if !Connected(lb.G) {
+		t.Error("lower bound graph is disconnected")
+	}
+}
+
+func TestLowerBoundDiameterWithinBudget(t *testing.T) {
+	// Lemma 3.2 argues every node is within 1.5*D + 1 hops of the middle
+	// top-path node; that is an eccentricity bound, so the diameter is at
+	// most twice it, 3*D + 2 = Theta(D'). (The paper states "diameter at
+	// most 1.5D+1", which the construction does not actually achieve; the
+	// measured diameter on the smallest instance is 2.5D. See
+	// EXPERIMENTS.md, experiment E4, for the discrepancy note.)
+	for _, tt := range []struct{ dp, DP int }{{5, 12}, {5, 16}, {6, 16}, {7, 20}} {
+		lb, err := LowerBound(tt.dp, tt.DP)
+		if err != nil {
+			t.Fatalf("LowerBound(%d,%d) error = %v", tt.dp, tt.DP, err)
+		}
+		diam, err := Diameter(lb.G)
+		if err != nil {
+			t.Fatalf("Diameter error = %v", err)
+		}
+		if diam > 3*lb.D+2 {
+			t.Errorf("LowerBound(%d,%d): diameter %d exceeds 3D+2 = %d",
+				tt.dp, tt.DP, diam, 3*lb.D+2)
+		}
+		if diam < lb.D {
+			t.Errorf("LowerBound(%d,%d): diameter %d below D = %d, construction too dense",
+				tt.dp, tt.DP, diam, lb.D)
+		}
+		// Middle top-path node eccentricity is the quantity the paper bounds.
+		mid := lb.TopPath[len(lb.TopPath)/2]
+		ecc, _ := Eccentricity(lb.G, mid)
+		if ecc > 3*lb.D/2+1 {
+			t.Errorf("LowerBound(%d,%d): middle-node eccentricity %d exceeds 1.5D+1 = %d",
+				tt.dp, tt.DP, ecc, 3*lb.D/2+1)
+		}
+	}
+}
+
+func TestLowerBoundRowsAreInducedPaths(t *testing.T) {
+	lb, err := LowerBound(5, 12)
+	if err != nil {
+		t.Fatalf("LowerBound error = %v", err)
+	}
+	for i, row := range lb.Rows {
+		d := InducedDiameter(lb.G, row, nil)
+		if d != len(row)-1 {
+			t.Errorf("row %d induced diameter = %d, want %d (path)", i, d, len(row)-1)
+		}
+	}
+}
+
+func TestLowerBoundParameterValidation(t *testing.T) {
+	if _, err := LowerBound(4, 100); err == nil {
+		t.Error("LowerBound(4, 100) succeeded, want error (deltaPrime < 5)")
+	}
+	if _, err := LowerBound(6, 10); err == nil {
+		t.Error("LowerBound(6, 10) succeeded, want error (diamPrime too small)")
+	}
+}
+
+func TestLowerBoundQualityBoundValue(t *testing.T) {
+	lb, err := LowerBound(7, 24)
+	if err != nil {
+		t.Fatalf("LowerBound error = %v", err)
+	}
+	if got, want := lb.QualityLowerBound, float64(4*24)/6; got != want {
+		t.Errorf("QualityLowerBound = %v, want %v", got, want)
+	}
+}

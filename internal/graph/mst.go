@@ -1,0 +1,50 @@
+package graph
+
+import "sort"
+
+// Kruskal computes a minimum spanning forest of g and returns the chosen
+// edge IDs (in increasing weight order) and their total weight. Ties are
+// broken by edge ID, so the result is deterministic; with distinct weights
+// the MST is unique and this is the reference result used to validate the
+// distributed algorithm.
+func Kruskal(g *Graph) (edgeIDs []int, total float64) {
+	ids := make([]int, g.NumEdges())
+	for i := range ids {
+		ids[i] = i
+	}
+	sort.Slice(ids, func(a, b int) bool {
+		ea, eb := g.Edge(ids[a]), g.Edge(ids[b])
+		if ea.W != eb.W {
+			return ea.W < eb.W
+		}
+		return ids[a] < ids[b]
+	})
+	dsu := NewDSU(g.NumNodes())
+	for _, id := range ids {
+		e := g.Edge(id)
+		if dsu.Union(e.U, e.V) {
+			edgeIDs = append(edgeIDs, id)
+			total += e.W
+		}
+	}
+	return edgeIDs, total
+}
+
+// SpanningTree returns the edge IDs of an arbitrary spanning tree (BFS tree
+// from node 0). It returns ErrDisconnected if g is not connected.
+func SpanningTree(g *Graph) ([]int, error) {
+	if g.NumNodes() == 0 {
+		return nil, nil
+	}
+	r := BFS(g, 0)
+	if len(r.Order) != g.NumNodes() {
+		return nil, ErrDisconnected
+	}
+	var ids []int
+	for v := 0; v < g.NumNodes(); v++ {
+		if r.ParentEdge[v] >= 0 {
+			ids = append(ids, r.ParentEdge[v])
+		}
+	}
+	return ids, nil
+}

@@ -1,0 +1,143 @@
+package minor
+
+import (
+	"math/rand"
+	"sort"
+
+	"locshort/internal/graph"
+)
+
+// GreedyDenseMinor searches for a dense minor of g by repeated edge
+// contraction and returns the densest minor encountered as a validated-shape
+// mapping. Contracting supernodes u, v with c common neighbors turns an
+// (n, m) minor into an (n-1, m-1-c) minor, so at every step it contracts the
+// adjacent pair with the fewest common neighbors, shrinking the node count
+// while preserving as many edges as possible. Ties are broken uniformly at
+// random with rng.
+//
+// The result is a *lower bound* witness for delta(G): computing delta(G)
+// exactly is NP-hard, and Lemma 3.3's analytic bounds provide the matching
+// upper bounds in the experiments.
+func GreedyDenseMinor(g *graph.Graph, rng *rand.Rand) *Mapping {
+	n := g.NumNodes()
+	if n == 0 {
+		return &Mapping{}
+	}
+	// Supernode state: adjacency sets over alive supernodes and member lists.
+	adj := make([]map[int]bool, n)
+	members := make([][]int, n)
+	alive := make([]bool, n)
+	aliveCount := n
+	for v := 0; v < n; v++ {
+		adj[v] = make(map[int]bool)
+		members[v] = []int{v}
+		alive[v] = true
+	}
+	edgeCount := 0
+	for _, e := range g.Edges() {
+		if !adj[e.U][e.V] {
+			adj[e.U][e.V] = true
+			adj[e.V][e.U] = true
+			edgeCount++
+		}
+	}
+
+	best := snapshot(adj, members, alive, aliveCount)
+	bestDensity := best.Density()
+
+	for aliveCount > 1 && edgeCount > 0 {
+		u, v := pickContraction(adj, alive, rng)
+		if u < 0 {
+			break
+		}
+		// Contract v into u.
+		for w := range adj[v] {
+			delete(adj[w], v)
+			if w != u && !adj[u][w] {
+				adj[u][w] = true
+				adj[w][u] = true
+			} else {
+				edgeCount-- // parallel edge (or the contracted edge itself) vanishes
+			}
+		}
+		members[u] = append(members[u], members[v]...)
+		adj[v] = nil
+		members[v] = nil
+		alive[v] = false
+		aliveCount--
+
+		if d := float64(edgeCount) / float64(aliveCount); d > bestDensity {
+			best = snapshot(adj, members, alive, aliveCount)
+			bestDensity = d
+		}
+	}
+	return best
+}
+
+// pickContraction returns the adjacent supernode pair with the fewest
+// common neighbors, breaking ties uniformly at random. Returns (-1, -1) if
+// no edge remains.
+func pickContraction(adj []map[int]bool, alive []bool, rng *rand.Rand) (int, int) {
+	bestU, bestV, bestCommon, tieCount := -1, -1, -1, 0
+	for u := range adj {
+		if !alive[u] {
+			continue
+		}
+		for v := range adj[u] {
+			if v < u {
+				continue
+			}
+			common := 0
+			small, large := adj[u], adj[v]
+			if len(large) < len(small) {
+				small, large = large, small
+			}
+			for w := range small {
+				if large[w] {
+					common++
+				}
+			}
+			switch {
+			case bestCommon == -1 || common < bestCommon:
+				bestU, bestV, bestCommon, tieCount = u, v, common, 1
+			case common == bestCommon:
+				tieCount++
+				if rng.Intn(tieCount) == 0 {
+					bestU, bestV = u, v
+				}
+			}
+		}
+	}
+	return bestU, bestV
+}
+
+func snapshot(adj []map[int]bool, members [][]int, alive []bool, aliveCount int) *Mapping {
+	index := make(map[int]int, aliveCount)
+	m := &Mapping{BranchSets: make([][]int, 0, aliveCount)}
+	for v, ok := range alive {
+		if !ok {
+			continue
+		}
+		index[v] = len(m.BranchSets)
+		bs := make([]int, len(members[v]))
+		copy(bs, members[v])
+		m.BranchSets = append(m.BranchSets, bs)
+	}
+	for u, ok := range alive {
+		if !ok {
+			continue
+		}
+		// Deterministic edge order for reproducibility.
+		nbrs := make([]int, 0, len(adj[u]))
+		for v := range adj[u] {
+			if v > u {
+				nbrs = append(nbrs, v)
+			}
+		}
+		sort.Ints(nbrs)
+		for _, v := range nbrs {
+			m.Edges = append(m.Edges, [2]int{index[u], index[v]})
+		}
+	}
+	return m
+}

@@ -1,0 +1,189 @@
+// Package partition represents collections of node-disjoint, connected
+// vertex parts — the input of the part-wise aggregation problem
+// (Definition 2.1 of the paper) and of every shortcut construction.
+//
+// A partition need not cover all nodes: the paper's definitions only require
+// the parts to be disjoint and to induce connected subgraphs.
+package partition
+
+import (
+	"fmt"
+	"math/rand"
+
+	"locshort/internal/graph"
+)
+
+// Partition is a validated collection of node-disjoint connected parts.
+type Partition struct {
+	// Parts holds the node IDs of each part.
+	Parts [][]int
+	// PartOf maps a node to its part index, or -1 if uncovered.
+	PartOf []int
+}
+
+// New validates that the given parts are node-disjoint, within range, and
+// that each part induces a connected subgraph of g, and returns the
+// partition. Empty parts are rejected.
+func New(g *graph.Graph, parts [][]int) (*Partition, error) {
+	p := &Partition{
+		Parts:  make([][]int, len(parts)),
+		PartOf: make([]int, g.NumNodes()),
+	}
+	for v := range p.PartOf {
+		p.PartOf[v] = -1
+	}
+	for i, part := range parts {
+		if len(part) == 0 {
+			return nil, fmt.Errorf("partition: part %d is empty", i)
+		}
+		cp := make([]int, len(part))
+		copy(cp, part)
+		p.Parts[i] = cp
+		for _, v := range part {
+			if v < 0 || v >= g.NumNodes() {
+				return nil, fmt.Errorf("partition: part %d contains out-of-range node %d", i, v)
+			}
+			if p.PartOf[v] != -1 {
+				return nil, fmt.Errorf("partition: node %d in parts %d and %d", v, p.PartOf[v], i)
+			}
+			p.PartOf[v] = i
+		}
+	}
+	for i := range p.Parts {
+		if !p.connectedPart(g, i) {
+			return nil, fmt.Errorf("partition: part %d does not induce a connected subgraph", i)
+		}
+	}
+	return p, nil
+}
+
+// NumParts returns the number of parts.
+func (p *Partition) NumParts() int { return len(p.Parts) }
+
+// Covered returns the number of nodes belonging to some part.
+func (p *Partition) Covered() int {
+	n := 0
+	for _, i := range p.PartOf {
+		if i >= 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// connectedPart runs a BFS over part i's induced subgraph.
+func (p *Partition) connectedPart(g *graph.Graph, i int) bool {
+	part := p.Parts[i]
+	seen := map[int]bool{part[0]: true}
+	queue := []int{part[0]}
+	for head := 0; head < len(queue); head++ {
+		v := queue[head]
+		for _, a := range g.Neighbors(v) {
+			if p.PartOf[a.To] == i && !seen[a.To] {
+				seen[a.To] = true
+				queue = append(queue, a.To)
+			}
+		}
+	}
+	return len(seen) == len(part)
+}
+
+// BFSBlobs partitions all nodes of a connected graph into k connected parts
+// by flooding simultaneously from k distinct random seeds: every node joins
+// the region of the seed that reaches it first (BFS Voronoi cells, which are
+// connected because every node's BFS parent lies in the same cell). Requires
+// 1 <= k <= n.
+func BFSBlobs(g *graph.Graph, k int, rng *rand.Rand) (*Partition, error) {
+	n := g.NumNodes()
+	if k < 1 || k > n {
+		return nil, fmt.Errorf("partition: k = %d out of range [1,%d]", k, n)
+	}
+	if !graph.Connected(g) {
+		return nil, graph.ErrDisconnected
+	}
+	seeds := rng.Perm(n)[:k]
+	owner := make([]int, n)
+	for v := range owner {
+		owner[v] = -1
+	}
+	queue := make([]int, 0, n)
+	for i, s := range seeds {
+		owner[s] = i
+		queue = append(queue, s)
+	}
+	for head := 0; head < len(queue); head++ {
+		v := queue[head]
+		for _, a := range g.Neighbors(v) {
+			if owner[a.To] == -1 {
+				owner[a.To] = owner[v]
+				queue = append(queue, a.To)
+			}
+		}
+	}
+	parts := make([][]int, k)
+	for v, o := range owner {
+		parts[o] = append(parts[o], v)
+	}
+	return New(g, parts)
+}
+
+// FromLabels builds a partition from a node-label array: every label >= 0
+// becomes a part (labels need not be dense); -1 marks uncovered nodes.
+func FromLabels(g *graph.Graph, label []int) (*Partition, error) {
+	if len(label) != g.NumNodes() {
+		return nil, fmt.Errorf("partition: label length %d, want %d", len(label), g.NumNodes())
+	}
+	index := make(map[int]int)
+	var parts [][]int
+	for v, l := range label {
+		if l < 0 {
+			continue
+		}
+		i, ok := index[l]
+		if !ok {
+			i = len(parts)
+			index[l] = i
+			parts = append(parts, nil)
+		}
+		parts[i] = append(parts[i], v)
+	}
+	return New(g, parts)
+}
+
+// GridRows partitions a Grid(rows, cols) graph into its row paths.
+func GridRows(g *graph.Graph, rows, cols int) (*Partition, error) {
+	if rows*cols != g.NumNodes() {
+		return nil, fmt.Errorf("partition: grid %dx%d does not match %d nodes", rows, cols, g.NumNodes())
+	}
+	parts := make([][]int, rows)
+	for r := 0; r < rows; r++ {
+		row := make([]int, cols)
+		for c := 0; c < cols; c++ {
+			row[c] = graph.GridIndex(r, c, cols)
+		}
+		parts[r] = row
+	}
+	return New(g, parts)
+}
+
+// WheelRim partitions a Wheel(n) graph into the rim (one big part of induced
+// diameter Theta(n)) and the center (a singleton) — the paper's Section 2
+// motivating example.
+func WheelRim(g *graph.Graph) (*Partition, error) {
+	n := g.NumNodes()
+	rim := make([]int, n-1)
+	for v := 1; v < n; v++ {
+		rim[v-1] = v
+	}
+	return New(g, [][]int{rim, {0}})
+}
+
+// Singletons partitions every node into its own part (the starting
+// partition of Boruvka's algorithm).
+func Singletons(g *graph.Graph) (*Partition, error) {
+	parts := make([][]int, g.NumNodes())
+	for v := range parts {
+		parts[v] = []int{v}
+	}
+	return New(g, parts)
+}

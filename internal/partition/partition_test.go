@@ -1,0 +1,185 @@
+package partition
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"locshort/internal/graph"
+)
+
+func TestNewValidates(t *testing.T) {
+	g := graph.Path(6)
+	tests := []struct {
+		name    string
+		parts   [][]int
+		wantErr bool
+	}{
+		{name: "valid cover", parts: [][]int{{0, 1, 2}, {3, 4, 5}}},
+		{name: "valid partial", parts: [][]int{{1, 2}}},
+		{name: "empty part", parts: [][]int{{0}, {}}, wantErr: true},
+		{name: "overlap", parts: [][]int{{0, 1}, {1, 2}}, wantErr: true},
+		{name: "out of range", parts: [][]int{{0, 6}}, wantErr: true},
+		{name: "negative", parts: [][]int{{-1}}, wantErr: true},
+		{name: "disconnected part", parts: [][]int{{0, 2}}, wantErr: true},
+		{name: "disconnected via uncovered", parts: [][]int{{0, 1}, {3, 5}}, wantErr: true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			_, err := New(g, tt.parts)
+			if (err != nil) != tt.wantErr {
+				t.Errorf("New() error = %v, wantErr = %v", err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestPartOfAndCovered(t *testing.T) {
+	g := graph.Path(5)
+	p, err := New(g, [][]int{{0, 1}, {3, 4}})
+	if err != nil {
+		t.Fatalf("New() error = %v", err)
+	}
+	want := []int{0, 0, -1, 1, 1}
+	for v, w := range want {
+		if p.PartOf[v] != w {
+			t.Errorf("PartOf[%d] = %d, want %d", v, p.PartOf[v], w)
+		}
+	}
+	if p.Covered() != 4 {
+		t.Errorf("Covered() = %d, want 4", p.Covered())
+	}
+	if p.NumParts() != 2 {
+		t.Errorf("NumParts() = %d, want 2", p.NumParts())
+	}
+}
+
+func TestNewCopiesInput(t *testing.T) {
+	g := graph.Path(3)
+	in := [][]int{{0, 1}}
+	p, err := New(g, in)
+	if err != nil {
+		t.Fatalf("New() error = %v", err)
+	}
+	in[0][0] = 2
+	if p.Parts[0][0] != 0 {
+		t.Error("partition aliases caller's slice")
+	}
+}
+
+func TestBFSBlobs(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	g := graph.Grid(8, 8)
+	p, err := BFSBlobs(g, 5, rng)
+	if err != nil {
+		t.Fatalf("BFSBlobs error = %v", err)
+	}
+	if p.NumParts() != 5 {
+		t.Errorf("NumParts = %d, want 5", p.NumParts())
+	}
+	if p.Covered() != 64 {
+		t.Errorf("Covered = %d, want 64", p.Covered())
+	}
+}
+
+func TestBFSBlobsErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	g := graph.Path(4)
+	if _, err := BFSBlobs(g, 0, rng); err == nil {
+		t.Error("BFSBlobs(k=0) succeeded")
+	}
+	if _, err := BFSBlobs(g, 5, rng); err == nil {
+		t.Error("BFSBlobs(k>n) succeeded")
+	}
+	dis := graph.New(4)
+	dis.AddEdge(0, 1)
+	dis.AddEdge(2, 3)
+	if _, err := BFSBlobs(dis, 2, rng); err != graph.ErrDisconnected {
+		t.Errorf("BFSBlobs on disconnected = %v, want ErrDisconnected", err)
+	}
+}
+
+func TestFromLabels(t *testing.T) {
+	g := graph.Path(5)
+	p, err := FromLabels(g, []int{7, 7, -1, 9, 9})
+	if err != nil {
+		t.Fatalf("FromLabels error = %v", err)
+	}
+	if p.NumParts() != 2 || p.Covered() != 4 {
+		t.Errorf("NumParts = %d Covered = %d, want 2 and 4", p.NumParts(), p.Covered())
+	}
+	if _, err := FromLabels(g, []int{0, 0}); err == nil {
+		t.Error("FromLabels accepted wrong-length labels")
+	}
+	if _, err := FromLabels(g, []int{0, 1, 0, 1, 0}); err == nil {
+		t.Error("FromLabels accepted disconnected parts")
+	}
+}
+
+func TestGridRows(t *testing.T) {
+	g := graph.Grid(3, 5)
+	p, err := GridRows(g, 3, 5)
+	if err != nil {
+		t.Fatalf("GridRows error = %v", err)
+	}
+	if p.NumParts() != 3 {
+		t.Errorf("NumParts = %d, want 3", p.NumParts())
+	}
+	for i, part := range p.Parts {
+		if len(part) != 5 {
+			t.Errorf("row %d has %d nodes, want 5", i, len(part))
+		}
+	}
+	if _, err := GridRows(g, 4, 5); err == nil {
+		t.Error("GridRows accepted mismatched dimensions")
+	}
+}
+
+func TestWheelRim(t *testing.T) {
+	g := graph.Wheel(10)
+	p, err := WheelRim(g)
+	if err != nil {
+		t.Fatalf("WheelRim error = %v", err)
+	}
+	if p.NumParts() != 2 {
+		t.Fatalf("NumParts = %d, want 2", p.NumParts())
+	}
+	if len(p.Parts[0]) != 9 || len(p.Parts[1]) != 1 {
+		t.Errorf("part sizes = %d, %d; want 9, 1", len(p.Parts[0]), len(p.Parts[1]))
+	}
+}
+
+func TestSingletons(t *testing.T) {
+	g := graph.Cycle(7)
+	p, err := Singletons(g)
+	if err != nil {
+		t.Fatalf("Singletons error = %v", err)
+	}
+	if p.NumParts() != 7 || p.Covered() != 7 {
+		t.Errorf("NumParts = %d Covered = %d, want 7 and 7", p.NumParts(), p.Covered())
+	}
+}
+
+// Property: BFSBlobs always yields a full cover by k connected disjoint
+// parts on random connected graphs (connectivity is revalidated by New).
+func TestBFSBlobsQuick(t *testing.T) {
+	f := func(seed int64, nRaw, kRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + int(nRaw)%60
+		k := 1 + int(kRaw)%n
+		maxM := n * (n - 1) / 2
+		m := n - 1 + rng.Intn(n)
+		if m > maxM {
+			m = maxM
+		}
+		g := graph.RandomConnected(n, m, rng)
+		p, err := BFSBlobs(g, k, rng)
+		if err != nil {
+			return false
+		}
+		return p.NumParts() == k && p.Covered() == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,251 @@
+package shortcut
+
+import (
+	"errors"
+	"fmt"
+	"math/bits"
+	"math/rand"
+
+	"locshort/internal/graph"
+	"locshort/internal/minor"
+	"locshort/internal/partition"
+	"locshort/internal/tree"
+)
+
+// Options configures Build.
+type Options struct {
+	// Tree is the rooted spanning tree to restrict the shortcut to. If nil,
+	// a BFS tree rooted near the graph center is used (depth <= diameter).
+	Tree *tree.Rooted
+	// Delta fixes the minor-density parameter delta'. If zero, Build runs
+	// the parameter-free doubling search of the Section 3.1 remark: the
+	// first power of two at which the Observation 2.7 loop completes is
+	// accepted, and Theorem 3.1 guarantees acceptance at delta' < 2*delta(G).
+	Delta int
+	// MaxDelta caps the doubling search (default: number of nodes).
+	MaxDelta int
+	// CongestionFactor and BlockFactor scale the per-iteration congestion
+	// threshold c = CongestionFactor*delta'*D and block budget
+	// b = BlockFactor*delta'. Both default to the paper's constant 8.
+	CongestionFactor int
+	BlockFactor      int
+	// MaxIterations caps the Observation 2.7 loop (default ceil(log2 k)+2).
+	MaxIterations int
+	// Certify requests dense-minor certificate extraction whenever a
+	// delta' level fails; extracted certificates are returned in the result.
+	Certify bool
+	// CertAttempts bounds sampling attempts per failed level (default 8D).
+	CertAttempts int
+	// Rng drives certificate sampling; required only when Certify is set.
+	Rng *rand.Rand
+}
+
+// Result reports the outcome of Build.
+type Result struct {
+	Shortcut *Shortcut
+	// Delta is the accepted delta' of the doubling search (or Options.Delta).
+	Delta int
+	// Congestion threshold and block budget used per iteration.
+	CongestionThreshold int
+	BlockBudget         int
+	// Iterations is the number of Observation 2.7 iterations of the
+	// accepted level.
+	Iterations int
+	// TreeDepth is the depth of the tree used.
+	TreeDepth int
+	// Certificates holds dense-minor witnesses extracted at failed levels
+	// (only when Options.Certify is set); Certificates[i].Density() exceeds
+	// the delta' of the corresponding failed level, recorded in
+	// FailedDeltas[i].
+	Certificates []*minor.Mapping
+	FailedDeltas []int
+}
+
+// ErrDeltaTooSmall is returned by Build when a caller-fixed delta' level
+// fails to cover every part. The returned Result still carries any extracted
+// certificates.
+var ErrDeltaTooSmall = errors.New("shortcut: construction failed at the requested delta'")
+
+// Build constructs a full tree-restricted shortcut for every part, following
+// Theorem 3.1 plus the Observation 2.7 halving loop, with the parameter-free
+// doubling search over delta'. It errors only on structurally invalid input,
+// when a fixed Options.Delta level fails (ErrDeltaTooSmall, with a non-nil
+// Result carrying certificates), or when MaxDelta is exhausted (impossible
+// for MaxDelta >= 2*delta(G) by Theorem 3.1).
+func Build(g *graph.Graph, p *partition.Partition, opts Options) (*Result, error) {
+	if p.NumParts() == 0 {
+		return nil, fmt.Errorf("shortcut: no parts")
+	}
+	if opts.Certify && opts.Rng == nil {
+		return nil, fmt.Errorf("shortcut: Certify requires Options.Rng")
+	}
+	t := opts.Tree
+	if t == nil {
+		var err error
+		t, err = tree.FromBFS(g, ChooseRoot(g))
+		if err != nil {
+			return nil, fmt.Errorf("shortcut: build tree: %w", err)
+		}
+	}
+	depth := t.MaxDepth()
+	if depth < 1 {
+		depth = 1
+	}
+	cf := opts.CongestionFactor
+	if cf == 0 {
+		cf = 8
+	}
+	bf := opts.BlockFactor
+	if bf == 0 {
+		bf = 8
+	}
+	maxIter := opts.MaxIterations
+	if maxIter == 0 {
+		maxIter = ceilLog2(p.NumParts()) + 2
+	}
+	maxDelta := opts.MaxDelta
+	if maxDelta == 0 {
+		maxDelta = g.NumNodes()
+	}
+	certAttempts := opts.CertAttempts
+	if certAttempts == 0 {
+		certAttempts = 8 * depth
+	}
+
+	res := &Result{TreeDepth: depth}
+	start := opts.Delta
+	fixed := start != 0
+	if !fixed {
+		start = 1
+	}
+	for delta := start; ; delta *= 2 {
+		if !fixed && delta > maxDelta {
+			return nil, fmt.Errorf("shortcut: doubling search exhausted at delta' = %d (max %d)", delta, maxDelta)
+		}
+		c := cf * delta * depth
+		b := bf * delta
+		s, iters, lastPartial, ok, err := runLevel(g, t, p, c, b, maxIter)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			res.Shortcut = s
+			res.Delta = delta
+			res.CongestionThreshold = c
+			res.BlockBudget = b
+			res.Iterations = iters
+			return res, nil
+		}
+		if opts.Certify && lastPartial != nil {
+			if m, found := ExtractCertificate(g, t, p, lastPartial, float64(delta), certAttempts, opts.Rng); found {
+				res.Certificates = append(res.Certificates, m)
+				res.FailedDeltas = append(res.FailedDeltas, delta)
+			}
+		}
+		if fixed {
+			return res, fmt.Errorf("shortcut: delta' = %d: %w", opts.Delta, ErrDeltaTooSmall)
+		}
+	}
+}
+
+// runLevel runs the Observation 2.7 loop at a fixed (c, b) level. It returns
+// the accumulated shortcut, the iteration count, the last partial result
+// (for certificate extraction on failure), and whether every part was
+// covered.
+func runLevel(g *graph.Graph, t *tree.Rooted, p *partition.Partition, c, b, maxIter int) (*Shortcut, int, *Partial, bool, error) {
+	k := p.NumParts()
+	s := &Shortcut{
+		G:       g,
+		Parts:   p,
+		Tree:    t,
+		H:       make([][]int, k),
+		Covered: make([]bool, k),
+	}
+	active := make([]bool, k)
+	for i := range active {
+		active[i] = true
+	}
+	remaining := k
+	var last *Partial
+	for iter := 1; iter <= maxIter; iter++ {
+		pr, err := BuildPartial(g, t, p, c, b, active)
+		if err != nil {
+			return nil, 0, nil, false, err
+		}
+		last = pr
+		progress := 0
+		for i := 0; i < k; i++ {
+			if active[i] && pr.Shortcut.Covered[i] {
+				s.Covered[i] = true
+				s.H[i] = pr.Shortcut.H[i]
+				active[i] = false
+				progress++
+			}
+		}
+		remaining -= progress
+		if remaining == 0 {
+			return s, iter, last, true, nil
+		}
+		if progress == 0 {
+			return s, iter, last, false, nil
+		}
+	}
+	return s, maxIter, last, false, nil
+}
+
+// ChooseRoot picks a BFS root near the graph center: it finds an
+// approximately longest shortest path by double sweep and returns the
+// minimum-eccentricity node on it. (Taking the path midpoint instead is a
+// known trap: the BFS path between two grid corners can run along the
+// boundary, whose midpoint is another corner with eccentricity equal to the
+// diameter.) Cost is O(D*m) preprocessing; the resulting BFS tree has depth
+// close to the radius.
+func ChooseRoot(g *graph.Graph) int {
+	if g.NumNodes() == 0 {
+		return 0
+	}
+	_, a := graph.Eccentricity(g, 0)
+	r := graph.BFS(g, a)
+	far, dist := a, 0
+	for v, d := range r.Dist {
+		if d > dist {
+			far, dist = v, d
+		}
+	}
+	best, bestEcc := far, -1
+	for v := far; v != -1; v = r.Parent[v] {
+		ecc, _ := graph.Eccentricity(g, v)
+		if bestEcc == -1 || ecc < bestEcc {
+			best, bestEcc = v, ecc
+		}
+	}
+	// Greedy descent on eccentricity: the path argmin can still sit on the
+	// boundary (e.g. an edge-middle of a grid); stepping to any neighbor
+	// that strictly lowers the eccentricity converges to a near-central
+	// node in at most diameter steps. Each step examines at most
+	// maxDescentNeighbors neighbors so that high-degree hubs (a wheel
+	// center has n-1 neighbors, each check a full BFS) stay cheap.
+	const maxDescentNeighbors = 32
+	for improved := true; improved; {
+		improved = false
+		for i, a := range g.Neighbors(best) {
+			if i >= maxDescentNeighbors {
+				break
+			}
+			ecc, _ := graph.Eccentricity(g, a.To)
+			if ecc < bestEcc {
+				best, bestEcc = a.To, ecc
+				improved = true
+				break
+			}
+		}
+	}
+	return best
+}
+
+func ceilLog2(x int) int {
+	if x <= 1 {
+		return 0
+	}
+	return bits.Len(uint(x - 1))
+}

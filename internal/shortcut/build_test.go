@@ -1,0 +1,229 @@
+package shortcut
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"locshort/internal/graph"
+	"locshort/internal/partition"
+)
+
+func TestBuildCoversEverythingOnFamilies(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	tests := []struct {
+		name     string
+		g        *graph.Graph
+		k        int
+		deltaMax int // known upper bound on delta(G), for bound checks
+	}{
+		{name: "grid", g: graph.Grid(10, 10), k: 10, deltaMax: 3},
+		{name: "torus", g: graph.Torus(8, 8), k: 8, deltaMax: 5},
+		{name: "wheel", g: graph.Wheel(50), k: 5, deltaMax: 3},
+		{name: "ktree3", g: graph.KTree(60, 3, rng), k: 10, deltaMax: 3},
+		{name: "cycle", g: graph.Cycle(40), k: 6, deltaMax: 2},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			p, err := partition.BFSBlobs(tt.g, tt.k, rng)
+			if err != nil {
+				t.Fatalf("BFSBlobs error = %v", err)
+			}
+			res, err := Build(tt.g, p, Options{})
+			if err != nil {
+				t.Fatalf("Build error = %v", err)
+			}
+			s := res.Shortcut
+			if err := s.Validate(); err != nil {
+				t.Fatalf("shortcut invalid: %v", err)
+			}
+			if s.CoveredCount() != tt.k {
+				t.Fatalf("covered %d of %d parts", s.CoveredCount(), tt.k)
+			}
+			// The doubling search accepts at delta' < 2*delta(G) by
+			// Theorem 3.1; allow the theoretical slack exactly.
+			if res.Delta >= 2*tt.deltaMax {
+				t.Errorf("accepted delta' = %d, want < %d", res.Delta, 2*tt.deltaMax)
+			}
+			q := Measure(s)
+			d := res.TreeDepth
+			maxIter := ceilLog2(tt.k) + 2
+			if q.Congestion > res.CongestionThreshold*maxIter {
+				t.Errorf("congestion %d exceeds c*maxIter = %d", q.Congestion, res.CongestionThreshold*maxIter)
+			}
+			if want := (res.BlockBudget + 1) * (2*d + 1); q.Dilation > want {
+				t.Errorf("dilation %d exceeds (b+1)(2D+1) = %d (Observation 2.6)", q.Dilation, want)
+			}
+			if q.MaxBlocks > res.BlockBudget+1 {
+				t.Errorf("blocks %d exceed b+1 = %d", q.MaxBlocks, res.BlockBudget+1)
+			}
+		})
+	}
+}
+
+func TestBuildIterationsWithinLog(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	g := graph.Grid(14, 14)
+	p, err := partition.BFSBlobs(g, 28, rng)
+	if err != nil {
+		t.Fatalf("BFSBlobs error = %v", err)
+	}
+	res, err := Build(g, p, Options{})
+	if err != nil {
+		t.Fatalf("Build error = %v", err)
+	}
+	if max := ceilLog2(28) + 2; res.Iterations > max {
+		t.Errorf("iterations = %d, want <= %d (Observation 2.7)", res.Iterations, max)
+	}
+}
+
+func TestBuildFixedDeltaFailsWhenTooSmall(t *testing.T) {
+	// The Lemma 3.2 instance with reduced constants: at c = depth and b = 1
+	// the rows cannot all be covered, so a fixed delta' must fail with
+	// ErrDeltaTooSmall. (With the paper's constant 8, failing instances
+	// require k > 8*depth parts, which only exists at delta > 20 scales —
+	// about 10^6 nodes; reduced factors exercise the same code path.)
+	lb, err := graph.LowerBound(6, 32)
+	if err != nil {
+		t.Fatalf("LowerBound error = %v", err)
+	}
+	p, err := partition.New(lb.G, lb.Rows)
+	if err != nil {
+		t.Fatalf("partition error = %v", err)
+	}
+	_, err = Build(lb.G, p, Options{Delta: 1, CongestionFactor: 1, BlockFactor: 1, MaxIterations: 3})
+	if !errors.Is(err, ErrDeltaTooSmall) {
+		t.Fatalf("Build error = %v, want ErrDeltaTooSmall", err)
+	}
+}
+
+func TestBuildNoParts(t *testing.T) {
+	g := graph.Path(4)
+	p := &partition.Partition{PartOf: []int{-1, -1, -1, -1}}
+	if _, err := Build(g, p, Options{}); err == nil {
+		t.Error("Build accepted empty partition")
+	}
+}
+
+func TestBuildCertifyRequiresRng(t *testing.T) {
+	g := graph.Complete(16)
+	p, err := partition.Singletons(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = Build(g, p, Options{Certify: true})
+	if err == nil {
+		t.Error("Build with Certify but no Rng did not error")
+	}
+}
+
+func TestBuildOnLowerBoundGraph(t *testing.T) {
+	// Lemma 3.2 instance: the builder must still terminate with full
+	// coverage, and the measured quality must respect the lower bound
+	// (delta'-3)*D'/6 — nothing can beat it.
+	lb, err := graph.LowerBound(5, 12)
+	if err != nil {
+		t.Fatalf("LowerBound error = %v", err)
+	}
+	p, err := partition.New(lb.G, lb.Rows)
+	if err != nil {
+		t.Fatalf("partition error = %v", err)
+	}
+	res, err := Build(lb.G, p, Options{})
+	if err != nil {
+		t.Fatalf("Build error = %v", err)
+	}
+	q := Measure(res.Shortcut)
+	if float64(q.Value()) < lb.QualityLowerBound {
+		t.Errorf("measured quality %d beats the Lemma 3.2 lower bound %v — impossible",
+			q.Value(), lb.QualityLowerBound)
+	}
+}
+
+func TestTrivialBaselineQuality(t *testing.T) {
+	// The D+sqrt(n) baseline: congestion <= number of big parts <= sqrt(n),
+	// dilation <= max(2*depth, sqrt(n)).
+	rng := rand.New(rand.NewSource(3))
+	g := graph.Grid(12, 12)
+	p, err := partition.BFSBlobs(g, 12, rng)
+	if err != nil {
+		t.Fatalf("BFSBlobs error = %v", err)
+	}
+	s, err := Trivial(g, p, nil)
+	if err != nil {
+		t.Fatalf("Trivial error = %v", err)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatalf("Validate = %v", err)
+	}
+	q := Measure(s)
+	if q.Congestion > 12 {
+		t.Errorf("congestion %d > sqrt(n) = 12", q.Congestion)
+	}
+	if q.Dilation > 2*s.Tree.MaxDepth()+12 {
+		t.Errorf("dilation %d > 2*depth + sqrt(n)", q.Dilation)
+	}
+	if q.CoveredParts != 12 {
+		t.Errorf("CoveredParts = %d, want 12", q.CoveredParts)
+	}
+}
+
+func TestBuildRespectsProvidedTree(t *testing.T) {
+	g := graph.Grid(6, 6)
+	tr := mustTree(t, g, 35)
+	rng := rand.New(rand.NewSource(4))
+	p, err := partition.BFSBlobs(g, 6, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Build(g, p, Options{Tree: tr})
+	if err != nil {
+		t.Fatalf("Build error = %v", err)
+	}
+	if res.Shortcut.Tree != tr {
+		t.Error("Build ignored the provided tree")
+	}
+	if res.TreeDepth != tr.MaxDepth() {
+		t.Errorf("TreeDepth = %d, want %d", res.TreeDepth, tr.MaxDepth())
+	}
+}
+
+// Property: Build on random connected graphs with random partitions always
+// terminates, covers everything, and satisfies the Theorem 1.2 shape
+// congestion <= c*iters, dilation <= (b+1)(2D+1).
+func TestBuildInvariantsQuick(t *testing.T) {
+	f := func(seed int64, nRaw, kRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 8 + int(nRaw)%40
+		maxM := n * (n - 1) / 2
+		m := n - 1 + rng.Intn(n)
+		if m > maxM {
+			m = maxM
+		}
+		g := graph.RandomConnected(n, m, rng)
+		k := 1 + int(kRaw)%(n/2)
+		p, err := partition.BFSBlobs(g, k, rng)
+		if err != nil {
+			return false
+		}
+		res, err := Build(g, p, Options{})
+		if err != nil {
+			return false
+		}
+		if res.Shortcut.CoveredCount() != k {
+			return false
+		}
+		if err := res.Shortcut.Validate(); err != nil {
+			return false
+		}
+		q := Measure(res.Shortcut)
+		if q.Congestion > res.CongestionThreshold*res.Iterations {
+			return false
+		}
+		return q.Dilation <= (res.BlockBudget+1)*(2*res.TreeDepth+1)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

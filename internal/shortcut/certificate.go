@@ -1,0 +1,191 @@
+package shortcut
+
+import (
+	"math/rand"
+
+	"locshort/internal/graph"
+	"locshort/internal/minor"
+	"locshort/internal/partition"
+	"locshort/internal/tree"
+)
+
+// ExtractCertificate implements Case (II) of the Theorem 3.1 proof (made
+// constructive as suggested by the Section 3.1 remark): given the outcome of
+// a failed partial construction, it samples a subset P' of parts with
+// probability 1/(4D) each and assembles the bipartite minor B_{P'} whose
+// nodes are the sampled parts and the cut-edge components, with an edge
+// whenever the representative path of (e, P_i) avoids all sampled parts.
+//
+// It retries up to attempts times and returns the first mapping whose
+// density exceeds delta, after pruning isolated minor nodes (pruning only
+// increases density and preserves minor validity). The boolean result
+// reports success; the mapping is always a valid minor of g when returned.
+//
+// The paper shows each attempt succeeds with probability Omega(1/D) when at
+// least half the parts have bipartite degree >= 8*delta and every cut edge
+// has degree >= 8*delta*D, so attempts = Theta(D) suffices with constant
+// probability.
+func ExtractCertificate(g *graph.Graph, t *tree.Rooted, p *partition.Partition, pr *Partial, delta float64, attempts int, rng *rand.Rand) (*minor.Mapping, bool) {
+	if len(pr.Overcongested) == 0 || attempts < 1 {
+		return nil, false
+	}
+	cut := pr.cutAboveNodes(t)
+	// v_e for each cut edge: the deeper endpoint.
+	cutNodes := make([]int, 0, len(pr.Overcongested))
+	nodeOfEdge := make(map[int]int, len(pr.Overcongested))
+	for v := 0; v < t.NumNodes(); v++ {
+		if cut[v] {
+			cutNodes = append(cutNodes, v)
+			nodeOfEdge[t.ParentEdge[v]] = v
+		}
+	}
+
+	for a := 0; a < attempts; a++ {
+		m := buildCandidate(g, t, p, pr, cut, cutNodes, nodeOfEdge, rng)
+		if m != nil && m.Density() > delta {
+			return m, true
+		}
+	}
+	return nil, false
+}
+
+// buildCandidate performs one sampling round and returns the pruned
+// bipartite minor, or nil if the sample was empty.
+func buildCandidate(g *graph.Graph, t *tree.Rooted, p *partition.Partition, pr *Partial, cut []bool, cutNodes []int, nodeOfEdge map[int]int, rng *rand.Rand) *minor.Mapping {
+	n := g.NumNodes()
+	d := t.MaxDepth()
+	if d < 1 {
+		d = 1
+	}
+	prob := 1 / (4 * float64(d))
+
+	sampled := make([]bool, p.NumParts())
+	removed := make([]bool, n)
+	any := false
+	for i := range sampled {
+		if pr.DegB[i] > 0 && rng.Float64() < prob {
+			sampled[i] = true
+			any = true
+			for _, v := range p.Parts[i] {
+				removed[v] = true
+			}
+		}
+	}
+	if !any {
+		return nil
+	}
+
+	// Components of (T\O) minus removed nodes.
+	comp := graph.NewDSU(n)
+	for v := 0; v < n; v++ {
+		pa := t.Parent[v]
+		if pa >= 0 && !cut[v] && !removed[v] && !removed[pa] {
+			comp.Union(v, pa)
+		}
+	}
+
+	// Minor nodes: sampled parts and surviving cut-edge components.
+	type key struct {
+		isPart bool
+		id     int // part index, or DSU root of the component
+	}
+	index := make(map[key]int)
+	var branchSets [][]int
+	nodeIdx := func(k key) int {
+		if i, ok := index[k]; ok {
+			return i
+		}
+		index[k] = len(branchSets)
+		branchSets = append(branchSets, nil)
+		return len(branchSets) - 1
+	}
+	for i, ok := range sampled {
+		if ok {
+			j := nodeIdx(key{isPart: true, id: i})
+			branchSets[j] = append([]int(nil), p.Parts[i]...)
+		}
+	}
+	edgeNodeOf := make(map[int]int, len(cutNodes)) // v_e -> minor node
+	for _, v := range cutNodes {
+		if removed[v] {
+			continue
+		}
+		edgeNodeOf[v] = nodeIdx(key{isPart: false, id: comp.Find(v)})
+	}
+	// Fill component branch sets (only components that host an edge-node).
+	wanted := make(map[int]int, len(edgeNodeOf))
+	for v, j := range edgeNodeOf {
+		wanted[comp.Find(v)] = j
+	}
+	for v := 0; v < n; v++ {
+		if removed[v] {
+			continue
+		}
+		if j, ok := wanted[comp.Find(v)]; ok {
+			branchSets[j] = append(branchSets[j], v)
+		}
+	}
+
+	// Minor edges: (e, P_i) is actually present when P_i is sampled and the
+	// tree path from the representative's parent up to v_e avoids removed
+	// nodes.
+	var edges [][2]int
+	for _, e := range pr.Overcongested {
+		ve := nodeOfEdge[e]
+		if removed[ve] {
+			continue
+		}
+		en := edgeNodeOf[ve]
+		for _, rp := range pr.IE[e] {
+			if !sampled[rp.Part] {
+				continue
+			}
+			if pathAvoids(t, rp.Rep, ve, removed) {
+				edges = append(edges, [2]int{en, index[key{isPart: true, id: rp.Part}]})
+			}
+		}
+	}
+
+	m := &minor.Mapping{BranchSets: branchSets, Edges: edges}
+	return pruneIsolated(m)
+}
+
+// pathAvoids reports whether the tree path from rep (exclusive) up to ve
+// (inclusive) contains no removed node.
+func pathAvoids(t *tree.Rooted, rep, ve int, removed []bool) bool {
+	u := t.Parent[rep]
+	for u != -1 && t.Depth[u] >= t.Depth[ve] {
+		if removed[u] {
+			return false
+		}
+		if u == ve {
+			return true
+		}
+		u = t.Parent[u]
+	}
+	return false
+}
+
+// pruneIsolated drops minor nodes with no incident minor edge. The result
+// is still a minor (a subgraph of one), with density at least as high.
+func pruneIsolated(m *minor.Mapping) *minor.Mapping {
+	deg := make([]int, len(m.BranchSets))
+	for _, e := range m.Edges {
+		deg[e[0]]++
+		deg[e[1]]++
+	}
+	remap := make([]int, len(m.BranchSets))
+	out := &minor.Mapping{}
+	for i, bs := range m.BranchSets {
+		if deg[i] == 0 {
+			remap[i] = -1
+			continue
+		}
+		remap[i] = len(out.BranchSets)
+		out.BranchSets = append(out.BranchSets, bs)
+	}
+	for _, e := range m.Edges {
+		out.Edges = append(out.Edges, [2]int{remap[e[0]], remap[e[1]]})
+	}
+	return out
+}

@@ -1,0 +1,215 @@
+package shortcut
+
+import (
+	"fmt"
+	"sort"
+
+	"locshort/internal/graph"
+	"locshort/internal/partition"
+	"locshort/internal/tree"
+)
+
+// Partial is the outcome of one run of the Theorem 3.1 overcongested-edge
+// process: a tree-restricted partial shortcut for the parts whose degree in
+// the bipartite graph B stayed within the block budget, plus the data needed
+// to extract a dense-minor certificate when too many parts failed.
+type Partial struct {
+	// Shortcut covers the parts with deg_B <= block budget.
+	Shortcut *Shortcut
+	// Overcongested lists the cut tree edges (the set O), as edge IDs.
+	Overcongested []int
+	// IE maps every overcongested edge ID to the parts I_e that intersected
+	// the T\O subtree below it, paired with a representative node per part
+	// (a member of the part reachable from v_e through T\O).
+	IE map[int][]PartRep
+	// DegB[i] is part i's degree in the bipartite graph B.
+	DegB []int
+}
+
+// PartRep names a part and its representative node below an overcongested
+// edge (the r_{e,P_i} of the paper's proof).
+type PartRep struct {
+	Part int
+	Rep  int
+}
+
+// BuildPartial runs the constructive proof of Theorem 3.1 on graph g with
+// rooted spanning tree t and the given parts, using congestion threshold c
+// (a tree edge is overcongested when >= c parts intersect the subtree
+// hanging below it in T\O) and block budget b (parts with more than b
+// overcongested edges above them stay uncovered).
+//
+// With c = 8*delta*D and b = 8*delta, Theorem 3.1 guarantees that at least
+// half the parts are covered on any graph with minor density delta and tree
+// depth D. active restricts the construction to a subset of parts (nil
+// means all); inactive parts neither count toward congestion nor receive
+// shortcuts — this is what the Observation 2.7 loop passes on later
+// iterations.
+func BuildPartial(g *graph.Graph, t *tree.Rooted, p *partition.Partition, c, b int, active []bool) (*Partial, error) {
+	if c < 1 {
+		return nil, fmt.Errorf("shortcut: congestion threshold %d < 1", c)
+	}
+	if b < 0 {
+		return nil, fmt.Errorf("shortcut: negative block budget %d", b)
+	}
+	if t.NumNodes() != g.NumNodes() {
+		return nil, fmt.Errorf("shortcut: tree has %d nodes, graph has %d", t.NumNodes(), g.NumNodes())
+	}
+	n := g.NumNodes()
+	k := p.NumParts()
+	isActive := func(i int) bool { return active == nil || active[i] }
+
+	// Bottom-up sweep: S[v] maps part -> representative node, accumulating
+	// the parts intersecting the T\O subtree below v. cutAbove[v] marks v's
+	// parent edge as overcongested.
+	//
+	// Representatives are kept at minimal depth: the shallowest part node in
+	// the subtree. This matters for certificate extraction — the paper's
+	// independence argument (the "potentially present" probability of an
+	// edge (e, P_i) is independent of P_i being sampled) requires the tree
+	// path from v_e to the representative to contain no other P_i node,
+	// which holds exactly for a minimal-depth representative.
+	S := make([]map[int]int, n)
+	cutAbove := make([]bool, n)
+	pr := &Partial{IE: make(map[int][]PartRep), DegB: make([]int, k)}
+
+	for idx := len(t.Order) - 1; idx >= 0; idx-- {
+		v := t.Order[idx]
+		sv := S[v]
+		if sv == nil {
+			sv = make(map[int]int, 1)
+		}
+		if pi := p.PartOf[v]; pi >= 0 && isActive(pi) {
+			// v is shallower than every node merged from its children, so
+			// it always becomes the representative of its own part.
+			sv[pi] = v
+		}
+		parent := t.Parent[v]
+		if parent < 0 {
+			S[v] = sv
+			continue
+		}
+		if len(sv) >= c {
+			// v's parent edge is overcongested: cut it, record I_e.
+			cutAbove[v] = true
+			e := t.ParentEdge[v]
+			pr.Overcongested = append(pr.Overcongested, e)
+			reps := make([]PartRep, 0, len(sv))
+			for part, rep := range sv {
+				reps = append(reps, PartRep{Part: part, Rep: rep})
+				pr.DegB[part]++
+			}
+			sort.Slice(reps, func(i, j int) bool { return reps[i].Part < reps[j].Part })
+			pr.IE[e] = reps
+			S[v] = nil
+			continue
+		}
+		// Merge into the parent (small-to-large, keeping the shallower
+		// representative on conflicts).
+		sp := S[parent]
+		if sp == nil {
+			S[parent] = sv
+		} else {
+			if len(sp) < len(sv) {
+				sp, sv = sv, sp
+				S[parent] = sp
+			}
+			for part, rep := range sv {
+				if cur, ok := sp[part]; !ok || t.Depth[rep] < t.Depth[cur] {
+					sp[part] = rep
+				}
+			}
+		}
+		S[v] = nil
+	}
+	sort.Ints(pr.Overcongested)
+
+	// Case (I): cover parts whose bipartite degree is within budget, giving
+	// them every ancestor edge in the forest T\O.
+	pr.Shortcut = AssembleFromCuts(g, t, p, cutAbove, active, b)
+	return pr, nil
+}
+
+// AssembleFromCuts performs Case (I) of the Theorem 3.1 proof given the
+// overcongested-edge indicator (cutAbove[v] marks v's parent edge as cut):
+// every active part touching at most b non-root components of T\O is
+// covered with all its ancestor edges in the forest. It is shared by the
+// centralized construction and the harvest step of the distributed one.
+func AssembleFromCuts(g *graph.Graph, t *tree.Rooted, p *partition.Partition, cutAbove []bool, active []bool, b int) *Shortcut {
+	n := g.NumNodes()
+	k := p.NumParts()
+	isActive := func(i int) bool { return active == nil || active[i] }
+
+	// Component roots of T\O, top-down.
+	compRoot := make([]int, n)
+	for _, v := range t.Order {
+		if t.Parent[v] == -1 || cutAbove[v] {
+			compRoot[v] = v
+		} else {
+			compRoot[v] = compRoot[t.Parent[v]]
+		}
+	}
+	// Bipartite degree: distinct non-root-component roots touched.
+	degB := make([]int, k)
+	touched := make(map[[2]int]bool)
+	for v := 0; v < n; v++ {
+		i := p.PartOf[v]
+		if i < 0 || !isActive(i) {
+			continue
+		}
+		r := compRoot[v]
+		if !cutAbove[r] {
+			continue // global root component does not count toward deg_B
+		}
+		key := [2]int{i, r}
+		if !touched[key] {
+			touched[key] = true
+			degB[i]++
+		}
+	}
+
+	s := &Shortcut{
+		G:       g,
+		Parts:   p,
+		Tree:    t,
+		H:       make([][]int, k),
+		Covered: make([]bool, k),
+	}
+	stamp := make([]int, n)
+	for v := range stamp {
+		stamp[v] = -1
+	}
+	for i := 0; i < k; i++ {
+		if !isActive(i) || degB[i] > b {
+			continue
+		}
+		s.Covered[i] = true
+		h := []int{}
+		for _, u := range p.Parts[i] {
+			for u != -1 && !cutAbove[u] && t.Parent[u] != -1 && stamp[u] != i {
+				stamp[u] = i
+				h = append(h, t.ParentEdge[u])
+				u = t.Parent[u]
+			}
+		}
+		sort.Ints(h)
+		s.H[i] = h
+	}
+	return s
+}
+
+// CutAbove reconstructs, for certificate extraction, whether each node's
+// parent edge was cut.
+func (pr *Partial) cutAboveNodes(t *tree.Rooted) []bool {
+	cut := make([]bool, t.NumNodes())
+	inO := make(map[int]bool, len(pr.Overcongested))
+	for _, e := range pr.Overcongested {
+		inO[e] = true
+	}
+	for v := 0; v < t.NumNodes(); v++ {
+		if t.Parent[v] >= 0 && inO[t.ParentEdge[v]] {
+			cut[v] = true
+		}
+	}
+	return cut
+}
