@@ -1,0 +1,3 @@
+module locshort
+
+go 1.24

@@ -2,16 +2,12 @@ package bench
 
 import (
 	"math"
-	"math/bits"
 	"math/rand"
+
+	"locshort/internal/shortcut"
 )
 
-func ceilLog2(x int) int {
-	if x <= 1 {
-		return 0
-	}
-	return bits.Len(uint(x - 1))
-}
+func ceilLog2(x int) int { return shortcut.CeilLog2(x) }
 
 func isqrt(n int) int {
 	s := int(math.Sqrt(float64(n)))

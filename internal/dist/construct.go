@@ -1,0 +1,408 @@
+package dist
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"locshort/internal/congest"
+	"locshort/internal/graph"
+	"locshort/internal/partition"
+	"locshort/internal/shortcut"
+	"locshort/internal/tree"
+)
+
+// ConstructOptions configures the Theorem 1.5 distributed construction.
+// The zero value runs the randomized variant with the paper's constants and
+// the parameter-free doubling search, mirroring shortcut.Options.
+type ConstructOptions struct {
+	// Variant selects overcongestion detection: Randomized (min-hash
+	// sampling, the default) or Deterministic (exact capped ID sets).
+	Variant Variant
+	// Seed drives the sampling hashes and is part of the protocol's shared
+	// randomness; with Variant == Deterministic the entire run is a
+	// deterministic function of (graph, partition, options).
+	Seed int64
+	// Delta fixes δ'. If zero, the doubling search over δ' runs exactly as
+	// in shortcut.Build.
+	Delta int
+	// MaxDelta caps the doubling search (default: number of nodes).
+	MaxDelta int
+	// CongestionFactor and BlockFactor scale c = CongestionFactor·δ'·D and
+	// b = BlockFactor·δ'; both default to the paper's 8.
+	CongestionFactor int
+	BlockFactor      int
+	// MaxIterations caps the Observation 2.7 loop (default ⌈log₂k⌉+2).
+	MaxIterations int
+	// MaxWaveRounds bounds the simulated rounds of a single cut wave
+	// (default: a generous multiple of depth·threshold).
+	MaxWaveRounds int
+}
+
+// ConstructResult carries the product of the distributed construction: the
+// shortcut, its installed aggregation routing, and the cost breakdown.
+type ConstructResult struct {
+	Shortcut *shortcut.Shortcut
+	// Routing is the part-wise aggregation routing installed on Shortcut,
+	// ready for PartwiseAggregate.
+	Routing *PARouting
+	// Tree is the distributedly computed BFS tree the shortcut is
+	// restricted to.
+	Tree *tree.Rooted
+	// Delta is the accepted δ' of the doubling search.
+	Delta int
+	// CongestionThreshold and BlockBudget are the c and b of the accepted
+	// level.
+	CongestionThreshold int
+	BlockBudget         int
+	// Iterations is the number of Observation 2.7 iterations at the
+	// accepted level.
+	Iterations int
+	// Rounds is the full cost breakdown; see the package comment.
+	Rounds Rounds
+	// Messages counts all simulated messages (BFS wave + cut waves).
+	Messages int64
+}
+
+// Construct runs the Theorem 1.5 construction on the CONGEST simulator:
+// a distributed BFS tree, then, per δ' level of the doubling search, the
+// Observation 2.7 loop whose iterations each run one simulated
+// overcongested-edge cut wave (bottom-up over the tree) followed by the
+// centrally executed Case (I) harvest, charged at the Lemma 2.8 budget
+// b(2D+1)+c. The accepted level's shortcut gets its aggregation routing
+// installed (charged at one tree broadcast + convergecast).
+func Construct(g *graph.Graph, p *partition.Partition, opts ConstructOptions) (*ConstructResult, error) {
+	if p.NumParts() == 0 {
+		return nil, fmt.Errorf("dist: no parts")
+	}
+	res := &ConstructResult{}
+
+	bfs, err := BuildBFSTree(g, 4*g.NumNodes()+16)
+	if err != nil {
+		return nil, err
+	}
+	res.Tree = bfs.Tree
+	res.Rounds.add(bfs.Rounds)
+	res.Messages += bfs.Stats.Messages
+	depth := bfs.Tree.MaxDepth()
+	if depth < 1 {
+		depth = 1
+	}
+
+	cf := opts.CongestionFactor
+	if cf == 0 {
+		cf = 8
+	}
+	bf := opts.BlockFactor
+	if bf == 0 {
+		bf = 8
+	}
+	maxIter := opts.MaxIterations
+	if maxIter == 0 {
+		maxIter = ceilLog2(p.NumParts()) + 2
+	}
+	maxDelta := opts.MaxDelta
+	if maxDelta == 0 {
+		maxDelta = g.NumNodes()
+	}
+
+	start := opts.Delta
+	fixed := start != 0
+	if !fixed {
+		start = 1
+	}
+	for delta := start; ; delta *= 2 {
+		if !fixed && delta > maxDelta {
+			return nil, fmt.Errorf("dist: doubling search exhausted at delta' = %d (max %d)", delta, maxDelta)
+		}
+		c := cf * delta * depth
+		b := bf * delta
+		s, iters, ok, err := runLevelDist(g, bfs.Tree, p, c, b, maxIter, delta, opts, res)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			res.Shortcut = s
+			res.Delta = delta
+			res.CongestionThreshold = c
+			res.BlockBudget = b
+			res.Iterations = iters
+			routing, err := NewPARouting(s)
+			if err != nil {
+				return nil, fmt.Errorf("dist: install routing: %w", err)
+			}
+			res.Routing = routing
+			// Routing installation: announce the cut edges top-down and
+			// convergecast completion — one barrier each way.
+			res.Rounds.Charged += 2 * (depth + 1)
+			return res, nil
+		}
+		if fixed {
+			return nil, fmt.Errorf("dist: delta' = %d: %w", opts.Delta, shortcut.ErrDeltaTooSmall)
+		}
+	}
+}
+
+// runLevelDist is the Observation 2.7 loop at a fixed (c, b) level, with
+// the overcongestion detection of each iteration executed as a simulated
+// cut wave. The harvest (Case I of Theorem 3.1) is executed centrally via
+// the same shortcut.AssembleFromCuts helper the centralized builder uses,
+// and charged at the Lemma 2.8 verification budget.
+func runLevelDist(g *graph.Graph, t *tree.Rooted, p *partition.Partition, c, b, maxIter, delta int,
+	opts ConstructOptions, res *ConstructResult) (*shortcut.Shortcut, int, bool, error) {
+	k := p.NumParts()
+	depth := t.MaxDepth()
+	if depth < 1 {
+		depth = 1
+	}
+	s := &shortcut.Shortcut{
+		G:       g,
+		Parts:   p,
+		Tree:    t,
+		H:       make([][]int, k),
+		Covered: make([]bool, k),
+	}
+	active := make([]bool, k)
+	for i := range active {
+		active[i] = true
+	}
+	remaining := k
+	for iter := 1; iter <= maxIter; iter++ {
+		waveSeed := opts.Seed ^ int64(delta)<<20 ^ int64(iter)<<8
+		cutAbove, wave, err := cutWave(g, t, p, c, active, opts, waveSeed)
+		if err != nil {
+			return nil, 0, false, err
+		}
+		res.Rounds.add(wave.rounds)
+		res.Messages += wave.messages
+		// Case (I) harvest, executed centrally and charged at the
+		// [HHW18] Lemma 2.8 block-verification budget, plus one phase
+		// barrier.
+		pr := shortcut.AssembleFromCuts(g, t, p, cutAbove, active, b)
+		res.Rounds.Charged += b*(2*depth+1) + c
+		res.Rounds.Sync += depth + 1
+
+		progress := 0
+		for i := 0; i < k; i++ {
+			if active[i] && pr.Covered[i] {
+				s.Covered[i] = true
+				s.H[i] = pr.H[i]
+				active[i] = false
+				progress++
+			}
+		}
+		remaining -= progress
+		if remaining == 0 {
+			return s, iter, true, nil
+		}
+		if progress == 0 {
+			return s, iter, false, nil
+		}
+	}
+	return s, maxIter, false, nil
+}
+
+// Message kinds of the cut wave.
+const (
+	kindWaveID   uint8 = 2 // one part identifier (or hash), more follow
+	kindWaveLast uint8 = 3 // final part identifier of this subtree
+	kindWaveDone uint8 = 4 // subtree finished, no identifiers (or none left)
+	kindWaveCut  uint8 = 5 // parent edge is overcongested: subtree sealed
+)
+
+// waveOutcome aggregates a cut wave's cost.
+type waveOutcome struct {
+	rounds   Rounds
+	messages int64
+}
+
+// cutWave runs one simulated bottom-up overcongested-edge wave and returns
+// cutAbove (node v's parent edge was cut). Semantics match the bottom-up
+// sweep of shortcut.BuildPartial: every node accumulates the set of active
+// parts intersecting its T\O subtree — severed at already-cut edges — and
+// cuts its own parent edge exactly when the (estimated) count reaches c.
+//
+// Deterministic variant: nodes stream exact part-ID sets, capped at c
+// (once c distinct parts are seen the edge is cut and nothing propagates),
+// so decisions equal the centralized ones. Randomized variant: nodes
+// stream only the s = 2⌈log₂n⌉+4 smallest min-hashes of the part IDs and
+// estimate the distinct count from the s-th smallest — shorter waves,
+// approximate counts (the [HIZ16a] trade-off of ablation A3).
+func cutWave(g *graph.Graph, t *tree.Rooted, p *partition.Partition, c int, active []bool,
+	opts ConstructOptions, seed int64) ([]bool, waveOutcome, error) {
+	n := g.NumNodes()
+	children := t.Children()
+	sampleSize := 2*ceilLog2(n) + 4
+
+	// Shared randomness: every node knows the wave's part-hash function.
+	var hash []int64
+	if opts.Variant == Randomized {
+		rng := rand.New(rand.NewSource(seed))
+		hash = make([]int64, p.NumParts())
+		for i := range hash {
+			hash[i] = 1 + rng.Int63n(hashRange-1)
+		}
+	}
+
+	procs := make([]congest.Proc, n)
+	nodes := make([]*waveProc, n)
+	for v := 0; v < n; v++ {
+		w := &waveProc{
+			variant:    opts.Variant,
+			threshold:  c,
+			sampleSize: sampleSize,
+			parent:     t.Parent[v],
+			parentEdge: t.ParentEdge[v],
+			waiting:    len(children[v]),
+			partKey:    -1,
+		}
+		if pi := p.PartOf[v]; pi >= 0 && active[pi] {
+			if opts.Variant == Randomized {
+				w.partKey = hash[pi]
+			} else {
+				w.partKey = int64(pi)
+			}
+		}
+		nodes[v] = w
+		procs[v] = w
+	}
+	net, err := congest.NewNetwork(g, procs)
+	if err != nil {
+		return nil, waveOutcome{}, err
+	}
+	maxRounds := opts.MaxWaveRounds
+	if maxRounds == 0 {
+		cap := c
+		if opts.Variant == Randomized {
+			cap = sampleSize
+		}
+		if cap > p.NumParts() {
+			cap = p.NumParts()
+		}
+		maxRounds = 2*(t.MaxDepth()+1)*(cap+3) + 16
+	}
+	stats, err := net.Run(maxRounds)
+	if err != nil {
+		return nil, waveOutcome{}, fmt.Errorf("dist: cut wave: %w", err)
+	}
+	cutAbove := make([]bool, n)
+	for v := 0; v < n; v++ {
+		cutAbove[v] = nodes[v].cut
+	}
+	return cutAbove, waveOutcome{
+		rounds:   Rounds{Measured: stats.Rounds},
+		messages: stats.Messages,
+	}, nil
+}
+
+// hashRange is the range of min-hash values: uniform in [1, hashRange).
+const hashRange = int64(1) << 62
+
+// waveProc is one node of the cut wave.
+type waveProc struct {
+	variant    Variant
+	threshold  int   // c
+	sampleSize int   // s (randomized variant)
+	parent     int   // parent node, -1 at the root
+	parentEdge int   // graph edge to the parent
+	waiting    int   // tree children that have not finished
+	partKey    int64 // own active part's ID/hash, or -1
+
+	started bool
+	items   []int64 // sorted distinct part IDs (exact) or min-hashes
+	full    bool    // exact variant: c distinct parts reached
+	cut     bool
+	sendIdx int
+	closing bool // streaming finished or cut sent; halt next chance
+}
+
+func (w *waveProc) Step(ctx *congest.Context) {
+	if !w.started {
+		w.started = true
+		if w.partKey >= 0 {
+			w.insert(w.partKey)
+		}
+	}
+	for _, in := range ctx.In {
+		switch in.Msg.Kind {
+		case kindWaveID:
+			w.insert(in.Msg.A)
+		case kindWaveLast:
+			w.insert(in.Msg.A)
+			w.waiting--
+		case kindWaveDone, kindWaveCut:
+			w.waiting--
+		}
+	}
+	if w.waiting > 0 {
+		return
+	}
+	if w.parent < 0 {
+		// The root never cuts: it has no parent edge.
+		ctx.Halt()
+		return
+	}
+	if w.closing {
+		ctx.Halt()
+		return
+	}
+	if w.sendIdx == 0 && w.overcongested() {
+		w.cut = true
+		ctx.Send(w.parentEdge, congest.Msg{Kind: kindWaveCut})
+		w.closing = true
+		return
+	}
+	// Stream the accumulated set upward, one identifier per round.
+	switch {
+	case w.sendIdx >= len(w.items):
+		ctx.Send(w.parentEdge, congest.Msg{Kind: kindWaveDone})
+		w.closing = true
+	case w.sendIdx == len(w.items)-1:
+		ctx.Send(w.parentEdge, congest.Msg{Kind: kindWaveLast, A: w.items[w.sendIdx]})
+		w.sendIdx++
+		w.closing = true
+	default:
+		ctx.Send(w.parentEdge, congest.Msg{Kind: kindWaveID, A: w.items[w.sendIdx]})
+		w.sendIdx++
+	}
+}
+
+// insert adds a part identifier/hash to the node's distinct set, capped at
+// the variant's retention limit.
+func (w *waveProc) insert(key int64) {
+	i := sort.Search(len(w.items), func(j int) bool { return w.items[j] >= key })
+	if i < len(w.items) && w.items[i] == key {
+		return
+	}
+	limit := w.threshold
+	if w.variant == Randomized {
+		limit = w.sampleSize
+	}
+	if len(w.items) >= limit {
+		if w.variant == Deterministic {
+			w.full = true // at least c distinct parts: count saturated
+			return
+		}
+		if i >= limit {
+			return // not among the s smallest hashes
+		}
+		w.items = w.items[:limit-1] // drop the largest retained hash
+	}
+	w.items = append(w.items, 0)
+	copy(w.items[i+1:], w.items[i:])
+	w.items[i] = key
+}
+
+// overcongested reports whether the node's accumulated (estimated) distinct
+// part count has reached the threshold c.
+func (w *waveProc) overcongested() bool {
+	if w.variant == Deterministic {
+		return w.full || len(w.items) >= w.threshold
+	}
+	if len(w.items) < w.sampleSize {
+		return len(w.items) >= w.threshold // count is exact below s
+	}
+	// Min-hash estimate from the s-th smallest hash value.
+	est := float64(w.sampleSize-1) * float64(hashRange) / float64(w.items[w.sampleSize-1])
+	return int(est) >= w.threshold
+}

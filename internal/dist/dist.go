@@ -1,0 +1,176 @@
+// Package dist implements the paper's distributed results on the CONGEST
+// simulator of internal/congest:
+//
+//   - Construct, the Theorem 1.5 distributed shortcut construction: a
+//     distributed BFS tree, per-iteration overcongested-edge cut waves
+//     (exact capped ID sets or min-hash sampling), the Observation 2.7
+//     halving loop, and the parameter-free doubling search over δ' —
+//     mirroring the centralized internal/shortcut.Build.
+//   - Part-wise aggregation (Definition 2.1): NewPARouting installs
+//     per-part routing trees on a shortcut; PartwiseAggregate and
+//     PartwiseBroadcast run convergecast/broadcast schedules with
+//     randomized contention resolution, the O(congestion + dilation·log n)
+//     random-delay schedule of [LMR94].
+//   - MST (Corollary 1.6): Borůvka phases over part-wise aggregation, with
+//     the shortcut per phase supplied by a pluggable provider (simulated
+//     distributed construction, charged centralized construction, or the
+//     D+sqrt(n) baseline).
+//   - MinCut (Corollary 1.7): tree packing of random-weight MSTs with
+//     1-respecting cut evaluation (OneRespectingCuts).
+//   - Applications of Section 1.2: sub-graph connectivity
+//     (SubgraphComponents) and bridge finding (Bridges).
+//
+// # Round accounting
+//
+// Every entry point reports a Rounds breakdown:
+//
+//   - Measured: rounds actually executed on the CONGEST simulator
+//     (BFS waves, cut waves, aggregation schedules).
+//   - Sync: harness phase barriers, charged at tree depth + 1 each — the
+//     cost of the "everyone has finished the phase" convergecast the
+//     harness performs implicitly between protocol phases.
+//   - Charged: analytically charged rounds for steps the harness executes
+//     centrally, at the budget the paper assigns them (e.g. the
+//     Lemma 2.8 [HHW18] block-verification budget b(2D+1) + c per
+//     iteration, or the Õ(Q) aggregation budget of a charged provider).
+package dist
+
+import (
+	"math"
+
+	"locshort/internal/shortcut"
+)
+
+// Rounds itemizes the round complexity of a distributed computation.
+type Rounds struct {
+	// Measured is the number of rounds executed on the simulator.
+	Measured int
+	// Sync is the number of rounds charged for phase barriers.
+	Sync int
+	// Charged is the number of rounds charged analytically for centrally
+	// executed steps.
+	Charged int
+}
+
+// Total returns Measured + Sync + Charged.
+func (r Rounds) Total() int { return r.Measured + r.Sync + r.Charged }
+
+// add accumulates another breakdown into r.
+func (r *Rounds) add(o Rounds) {
+	r.Measured += o.Measured
+	r.Sync += o.Sync
+	r.Charged += o.Charged
+}
+
+// Payload is a part-wise aggregation value: three machine words, so a
+// payload plus a part identifier fits one O(log n)-bit CONGEST message.
+type Payload [3]int64
+
+// Op is a commutative, associative aggregation operator on Payloads.
+type Op uint8
+
+const (
+	// OpSum adds payloads componentwise.
+	OpSum Op = iota
+	// OpMin takes the lexicographic minimum of the payload triples, so
+	// (key, id, aux) tuples aggregate to the minimum-key entry.
+	OpMin
+	// OpMax takes the lexicographic maximum.
+	OpMax
+)
+
+// identity returns the neutral element of op: Steiner nodes of a routing
+// tree contribute it so only real part members affect the aggregate.
+func (op Op) identity() Payload {
+	switch op {
+	case OpMin:
+		return Payload{math.MaxInt64, math.MaxInt64, math.MaxInt64}
+	case OpMax:
+		return Payload{math.MinInt64, math.MinInt64, math.MinInt64}
+	default:
+		return Payload{}
+	}
+}
+
+// combine merges two payloads under op.
+func (op Op) combine(a, b Payload) Payload {
+	switch op {
+	case OpMin:
+		if lexLess(b, a) {
+			return b
+		}
+		return a
+	case OpMax:
+		if lexLess(a, b) {
+			return b
+		}
+		return a
+	default:
+		return Payload{a[0] + b[0], a[1] + b[1], a[2] + b[2]}
+	}
+}
+
+func lexLess(a, b Payload) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return false
+}
+
+// Variant selects the overcongestion-detection strategy of the distributed
+// construction (the [HIZ16a] design axis of ablation A3).
+type Variant uint8
+
+const (
+	// Randomized detects overcongested edges with min-hash sampling: each
+	// cut wave propagates only the s = O(log n) smallest part hashes, so
+	// waves are shorter but counts are estimates.
+	Randomized Variant = iota
+	// Deterministic propagates exact part-ID sets capped at the congestion
+	// threshold c: longer waves, exact counts, and — on a fixed seed —
+	// bit-identical reruns.
+	Deterministic
+)
+
+// ProviderKind selects how shortcut-based algorithms (MST, MinCut,
+// SubgraphComponents) obtain and pay for the shortcut of each phase.
+type ProviderKind uint8
+
+const (
+	// ProviderCentral builds the shortcut centrally (shortcut.Build) and
+	// charges the worst-case Lemma 2.8 budget b(2D+1)+c per iteration plus
+	// the quality-bound aggregation schedule — the paper's own accounting,
+	// with its admittedly loose constants (footnote 3).
+	ProviderCentral ProviderKind = iota
+	// ProviderDistributed runs the full Theorem 1.5 construction and the
+	// aggregation schedules on the CONGEST simulator; every round is
+	// measured.
+	ProviderDistributed
+	// ProviderCentralAdaptive builds centrally but charges the measured
+	// shortcut quality Õ(Q) the construction actually delivered.
+	ProviderCentralAdaptive
+	// ProviderTrivial uses the folklore D+sqrt(n) baseline shortcut
+	// (Section 1.3), charged at its measured quality.
+	ProviderTrivial
+)
+
+// encodeWeight maps a float64 edge weight to an int64 whose order matches
+// the float order (negative weights included), so weights ride in Payload
+// words: the sign bit selects whether the remaining bits are flipped, the
+// standard sortable-double transform. NaN weights are not supported.
+func encodeWeight(w float64) int64 {
+	k := int64(math.Float64bits(w))
+	return k ^ (k>>63)&math.MaxInt64
+}
+
+// decodeWeight inverts encodeWeight.
+func decodeWeight(k int64) float64 {
+	k ^= (k >> 63) & math.MaxInt64
+	return math.Float64frombits(uint64(k))
+}
+
+// ceilLog2 is shortcut.CeilLog2, aliased for brevity at the many call
+// sites sizing logarithmic budgets.
+var ceilLog2 = shortcut.CeilLog2

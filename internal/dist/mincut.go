@@ -1,0 +1,201 @@
+package dist
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"locshort/internal/graph"
+	"locshort/internal/tree"
+)
+
+// MinCutOptions configures the Corollary 1.7 distributed minimum cut.
+type MinCutOptions struct {
+	// Seed drives the random edge weights of the tree packing.
+	Seed int64
+	// Trees overrides the number of sampled spanning trees
+	// (default 2⌈log₂n⌉+4).
+	Trees int
+	// MST configures the shortcut-based MST runs that sample the trees.
+	MST MSTOptions
+}
+
+// MinCutResult reports the tree-packing minimum cut.
+type MinCutResult struct {
+	// Value is the number of edges in the best cut found (edge
+	// cardinality: the experiments use unit capacities).
+	Value int64
+	// Side marks one side of the best cut (Side[v] == true), or nil when
+	// the best candidate is a singleton degree cut.
+	Side []bool
+	// Trees is the number of spanning trees sampled.
+	Trees int
+	// Rounds is the accumulated cost of all tree computations and cut
+	// evaluations.
+	Rounds Rounds
+}
+
+// MinCut computes a minimum edge cut by tree packing (Corollary 1.7):
+// sample R = 2⌈log₂n⌉+4 spanning trees, each the MST of the graph under
+// fresh random edge weights — a full shortcut-based distributed
+// computation — and take the minimum 1-respecting cut of any sampled tree
+// (OneRespectingCuts). The trivial singleton (degree) cuts, available in
+// one local round, are included as candidates. On the bounded-density
+// families of the experiments the sampled trees 1-constrain the minimum
+// cut with high probability, and the result is exact.
+func MinCut(g *graph.Graph, opts MinCutOptions) (*MinCutResult, error) {
+	n := g.NumNodes()
+	if n < 2 {
+		return &MinCutResult{Value: 0}, nil
+	}
+	if !graph.Connected(g) {
+		return nil, graph.ErrDisconnected
+	}
+	trees := opts.Trees
+	if trees == 0 {
+		trees = 2*ceilLog2(n) + 4
+	}
+	res := &MinCutResult{Trees: trees, Value: math.MaxInt64}
+
+	// Trivial local candidate: the best singleton cut (one round: every
+	// node knows its own degree).
+	minDeg, minDegNode := int64(math.MaxInt64), -1
+	for v := 0; v < n; v++ {
+		if d := int64(g.Degree(v)); d < minDeg {
+			minDeg, minDegNode = d, v
+		}
+	}
+	res.Rounds.Charged++
+
+	var bestTree *tree.Rooted
+	bestNode := -1
+	rng := rand.New(rand.NewSource(opts.Seed))
+	for t := 0; t < trees; t++ {
+		gw := g.Clone()
+		graph.RandomizeWeights(gw, rng)
+		mopts := opts.MST
+		mopts.Seed = opts.Seed + int64(t+1)*0x2545F491
+		mst, err := MST(gw, mopts)
+		if err != nil {
+			return nil, fmt.Errorf("dist: tree %d: %w", t, err)
+		}
+		res.Rounds.add(mst.Rounds)
+		tr, err := treeFromEdgeIDs(g, mst.EdgeIDs)
+		if err != nil {
+			return nil, fmt.Errorf("dist: tree %d: %w", t, err)
+		}
+		cuts := OneRespectingCuts(g, tr)
+		// Per-tree 1-respecting evaluation: a subtree convergecast and a
+		// broadcast of the winner.
+		res.Rounds.Charged += 2*tr.MaxDepth() + 2
+		for v := 0; v < n; v++ {
+			if v != tr.Root && cuts[v] < res.Value {
+				res.Value = cuts[v]
+				bestTree, bestNode = tr, v
+			}
+		}
+	}
+
+	if minDeg < res.Value {
+		res.Value = minDeg
+		res.Side = make([]bool, n)
+		res.Side[minDegNode] = true
+	} else if bestTree != nil {
+		iv := bestTree.EulerIntervals()
+		res.Side = make([]bool, n)
+		for v := 0; v < n; v++ {
+			res.Side[v] = iv.Ancestor(bestNode, v)
+		}
+	}
+	return res, nil
+}
+
+// OneRespectingCuts returns, for every non-root node v, the number of
+// graph edges crossing the cut (subtree(v), rest) — the cuts that
+// 1-respect the tree. The root's entry (the empty cut) is MaxInt64.
+// Every edge {u,w} contributes +1 at u, +1 at w and -2 at LCA(u,w); the
+// subtree sums are exactly the crossing-edge counts.
+func OneRespectingCuts(g *graph.Graph, t *tree.Rooted) []int64 {
+	n := g.NumNodes()
+	contrib := make([]int64, n)
+	for id := 0; id < g.NumEdges(); id++ {
+		e := g.Edge(id)
+		contrib[e.U]++
+		contrib[e.V]++
+		contrib[t.LCA(e.U, e.V)] -= 2
+	}
+	cuts := t.SubtreeSum(contrib)
+	cuts[t.Root] = math.MaxInt64
+	return cuts
+}
+
+// treeFromEdgeIDs materializes a rooted tree from spanning-tree edge IDs.
+func treeFromEdgeIDs(g *graph.Graph, edgeIDs []int) (*tree.Rooted, error) {
+	n := g.NumNodes()
+	adj := make([][]paArc, n)
+	for _, id := range edgeIDs {
+		e := g.Edge(id)
+		adj[e.U] = append(adj[e.U], paArc{to: e.V, edge: id})
+		adj[e.V] = append(adj[e.V], paArc{to: e.U, edge: id})
+	}
+	parent := make([]int, n)
+	parentEdge := make([]int, n)
+	for v := range parent {
+		parent[v] = -1
+		parentEdge[v] = -1
+	}
+	seen := make([]bool, n)
+	seen[0] = true
+	queue := []int{0}
+	for head := 0; head < len(queue); head++ {
+		v := queue[head]
+		for _, a := range adj[v] {
+			if !seen[a.to] {
+				seen[a.to] = true
+				parent[a.to] = v
+				parentEdge[a.to] = a.edge
+				queue = append(queue, a.to)
+			}
+		}
+	}
+	if len(queue) != n {
+		return nil, fmt.Errorf("dist: %d edges do not span %d nodes", len(edgeIDs), n)
+	}
+	return tree.FromParents(0, parent, parentEdge)
+}
+
+// BridgeResult reports the distributed bridge finder.
+type BridgeResult struct {
+	// EdgeIDs lists the bridges in increasing edge-ID order.
+	EdgeIDs []int
+	// Tree is the BFS tree the evaluation 1-respected.
+	Tree *tree.Rooted
+	// Rounds is the cost breakdown (measured BFS wave + charged
+	// evaluation).
+	Rounds Rounds
+}
+
+// Bridges finds all bridge edges distributedly (the 2-edge-connectivity
+// application of Section 1.2): build a BFS tree from root on the
+// simulator, then evaluate the 1-respecting cuts — a tree edge is a bridge
+// exactly when its subtree cut has value 1, since any second crossing edge
+// would close a cycle around it. Every bridge lies in every spanning tree,
+// so the single tree suffices and the result is exact.
+func Bridges(g *graph.Graph, root int) (*BridgeResult, error) {
+	bfs, err := buildBFSTreeFrom(g, root, 4*g.NumNodes()+16)
+	if err != nil {
+		return nil, err
+	}
+	res := &BridgeResult{Tree: bfs.Tree}
+	res.Rounds.add(bfs.Rounds)
+	cuts := OneRespectingCuts(g, bfs.Tree)
+	res.Rounds.Charged += 2*bfs.Tree.MaxDepth() + 2
+	for v := 0; v < g.NumNodes(); v++ {
+		if v != bfs.Tree.Root && cuts[v] == 1 {
+			res.EdgeIDs = append(res.EdgeIDs, bfs.Tree.ParentEdge[v])
+		}
+	}
+	sort.Ints(res.EdgeIDs)
+	return res, nil
+}

@@ -76,17 +76,23 @@ func GreedyDenseMinor(g *graph.Graph, rng *rand.Rand) *Mapping {
 
 // pickContraction returns the adjacent supernode pair with the fewest
 // common neighbors, breaking ties uniformly at random. Returns (-1, -1) if
-// no edge remains.
+// no edge remains. Pairs are enumerated in sorted order: the reservoir
+// tie-break consumes rng draws per tie, so enumeration order must be
+// deterministic for a fixed seed to reproduce the run.
 func pickContraction(adj []map[int]bool, alive []bool, rng *rand.Rand) (int, int) {
 	bestU, bestV, bestCommon, tieCount := -1, -1, -1, 0
 	for u := range adj {
 		if !alive[u] {
 			continue
 		}
+		nbrs := make([]int, 0, len(adj[u]))
 		for v := range adj[u] {
-			if v < u {
-				continue
+			if v > u {
+				nbrs = append(nbrs, v)
 			}
+		}
+		sort.Ints(nbrs)
+		for _, v := range nbrs {
 			common := 0
 			small, large := adj[u], adj[v]
 			if len(large) < len(small) {

@@ -101,7 +101,7 @@ func Build(g *graph.Graph, p *partition.Partition, opts Options) (*Result, error
 	}
 	maxIter := opts.MaxIterations
 	if maxIter == 0 {
-		maxIter = ceilLog2(p.NumParts()) + 2
+		maxIter = CeilLog2(p.NumParts()) + 2
 	}
 	maxDelta := opts.MaxDelta
 	if maxDelta == 0 {
@@ -243,7 +243,9 @@ func ChooseRoot(g *graph.Graph) int {
 	return best
 }
 
-func ceilLog2(x int) int {
+// CeilLog2 returns ⌈log₂x⌉ (0 for x ≤ 1); shared by the iteration and
+// sample-size budgets across the shortcut, dist, and bench layers.
+func CeilLog2(x int) int {
 	if x <= 1 {
 		return 0
 	}

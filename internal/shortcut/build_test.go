@@ -48,7 +48,7 @@ func TestBuildCoversEverythingOnFamilies(t *testing.T) {
 			}
 			q := Measure(s)
 			d := res.TreeDepth
-			maxIter := ceilLog2(tt.k) + 2
+			maxIter := CeilLog2(tt.k) + 2
 			if q.Congestion > res.CongestionThreshold*maxIter {
 				t.Errorf("congestion %d exceeds c*maxIter = %d", q.Congestion, res.CongestionThreshold*maxIter)
 			}
@@ -73,7 +73,7 @@ func TestBuildIterationsWithinLog(t *testing.T) {
 	if err != nil {
 		t.Fatalf("Build error = %v", err)
 	}
-	if max := ceilLog2(28) + 2; res.Iterations > max {
+	if max := CeilLog2(28) + 2; res.Iterations > max {
 		t.Errorf("iterations = %d, want <= %d (Observation 2.7)", res.Iterations, max)
 	}
 }

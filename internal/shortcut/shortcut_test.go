@@ -319,8 +319,8 @@ func TestCeilLog2(t *testing.T) {
 		{0, 0}, {1, 0}, {2, 1}, {3, 2}, {4, 2}, {5, 3}, {8, 3}, {9, 4}, {1024, 10}, {1025, 11},
 	}
 	for _, tt := range tests {
-		if got := ceilLog2(tt.in); got != tt.want {
-			t.Errorf("ceilLog2(%d) = %d, want %d", tt.in, got, tt.want)
+		if got := CeilLog2(tt.in); got != tt.want {
+			t.Errorf("CeilLog2(%d) = %d, want %d", tt.in, got, tt.want)
 		}
 	}
 }
