@@ -1,0 +1,258 @@
+// Command loadgen is a closed-loop load generator for locshortd: N
+// connections issue build-or-get shortcut requests (optionally mixed with
+// MST jobs) against a catalog of graph families, with Zipf-skewed graph
+// popularity and a bounded partition-seed space so the cache sees a
+// realistic mix of cold builds and hits.
+//
+// Usage:
+//
+//	loadgen -addr 127.0.0.1:8080 [-duration 10s] [-conns 8]
+//	        [-catalog "grid:32x32;torus:16x16;wheel:200;ktree:300,4"]
+//	        [-parts blobs:32] [-seeds 4] [-zipf 1.3] [-job-frac 0]
+//	        [-require-hits]
+//
+// Each request picks a catalog graph by Zipf rank (rank 1 is hottest) and
+// a partition seed uniformly from [0, seeds); the (graph, partition seed)
+// pair determines the shortcut fingerprint, so `seeds` controls how many
+// distinct shortcuts exist per graph. The report splits request latency by
+// the server's `cached` flag, which is how the cache-hit speedup over cold
+// construction is measured:
+//
+//	requests: 1243 ok, 0 errors, 124.3 req/s
+//	cold builds:  27   p50 41.2ms   p99 98.0ms
+//	cache hits:   1216 p50 0.8ms    p99 2.1ms
+//	hit/cold median speedup: 51.5x
+//	server hit rate: 0.97
+//
+// -require-hits exits nonzero when the server reports zero cache hits —
+// the CI smoke assertion.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"locshort/internal/service"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "loadgen:", err)
+		os.Exit(1)
+	}
+}
+
+type sample struct {
+	latency time.Duration
+	cached  bool
+	job     bool
+}
+
+type client struct {
+	base string
+	hc   *http.Client
+}
+
+func (c *client) post(path string, body, out any) error {
+	b, err := json.Marshal(body)
+	if err != nil {
+		return err
+	}
+	resp, err := c.hc.Post(c.base+path, "application/json", bytes.NewReader(b))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return fmt.Errorf("POST %s: %s: %s", path, resp.Status, strings.TrimSpace(string(msg)))
+	}
+	if out != nil {
+		return json.NewDecoder(resp.Body).Decode(out)
+	}
+	return nil
+}
+
+func run() error {
+	var (
+		addr     = flag.String("addr", "127.0.0.1:8080", "locshortd address (host:port or URL)")
+		duration = flag.Duration("duration", 10*time.Second, "how long to generate load")
+		conns    = flag.Int("conns", 8, "concurrent closed-loop connections")
+		catalog  = flag.String("catalog", "grid:32x32;torus:16x16;wheel:200;ktree:300,4",
+			"semicolon-separated graph family specs, hottest first")
+		partSpec    = flag.String("parts", "blobs:32", "partition spec sent with every request")
+		seeds       = flag.Int("seeds", 4, "distinct partition seeds per graph (shortcut universe size)")
+		zipfS       = flag.Float64("zipf", 1.3, "Zipf skew across catalog ranks (>1)")
+		jobFrac     = flag.Float64("job-frac", 0, "fraction of requests that are MST jobs instead of shortcut builds")
+		seed        = flag.Int64("seed", 1, "generator seed")
+		requireHits = flag.Bool("require-hits", false, "exit nonzero unless the server reports cache hits")
+	)
+	flag.Parse()
+	if *zipfS <= 1 {
+		return fmt.Errorf("-zipf must be > 1, got %v", *zipfS)
+	}
+	if *seeds < 1 {
+		return fmt.Errorf("-seeds must be >= 1, got %d", *seeds)
+	}
+	if *conns < 1 {
+		return fmt.Errorf("-conns must be >= 1, got %d", *conns)
+	}
+	if *jobFrac < 0 || *jobFrac > 1 {
+		return fmt.Errorf("-job-frac must be in [0,1], got %v", *jobFrac)
+	}
+
+	base := *addr
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	c := &client{base: base, hc: &http.Client{Timeout: 5 * time.Minute}}
+
+	// Register the catalog up front and keep the fingerprints.
+	specs := strings.Split(*catalog, ";")
+	fps := make([]string, len(specs))
+	for i, spec := range specs {
+		var g struct {
+			Graph string `json:"graph"`
+			Nodes int    `json:"nodes"`
+		}
+		if err := c.post("/v1/graphs", map[string]any{"spec": strings.TrimSpace(spec)}, &g); err != nil {
+			return fmt.Errorf("ingest %q: %w", spec, err)
+		}
+		fps[i] = g.Graph
+		fmt.Printf("ingested %-16s %s (%d nodes)\n", spec, g.Graph, g.Nodes)
+	}
+
+	// Closed loop: each connection issues the next request as soon as the
+	// previous one returns.
+	var (
+		mu       sync.Mutex
+		samples  []sample
+		errs     int
+		firstErr error
+	)
+	deadline := time.Now().Add(*duration)
+	var wg sync.WaitGroup
+	for w := 0; w < *conns; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(*seed + int64(w)))
+			zipf := rand.NewZipf(rng, *zipfS, 1, uint64(len(fps)-1))
+			for time.Now().Before(deadline) {
+				gi := int(zipf.Uint64())
+				ps := rng.Int63n(int64(*seeds))
+				isJob := rng.Float64() < *jobFrac
+				start := time.Now()
+				var err error
+				s := sample{job: isJob}
+				if isJob {
+					err = c.post("/v1/jobs", map[string]any{
+						"kind": "mst", "graph": fps[gi], "seed": ps,
+					}, nil)
+				} else {
+					var resp struct {
+						Cached bool `json:"cached"`
+					}
+					err = c.post("/v1/shortcuts", map[string]any{
+						"graph": fps[gi], "partition": *partSpec, "seed": ps,
+					}, &resp)
+					s.cached = resp.Cached
+				}
+				s.latency = time.Since(start)
+				mu.Lock()
+				if err != nil {
+					errs++
+					if firstErr == nil {
+						firstErr = err
+					}
+				} else {
+					samples = append(samples, s)
+				}
+				mu.Unlock()
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	if len(samples) == 0 {
+		if firstErr != nil {
+			return fmt.Errorf("no request succeeded: %w", firstErr)
+		}
+		return fmt.Errorf("no request completed within %v", *duration)
+	}
+	report(samples, errs, *duration)
+	if firstErr != nil {
+		fmt.Printf("first error: %v\n", firstErr)
+	}
+
+	// Ask the server for its own accounting.
+	resp, err := c.hc.Get(base + "/v1/stats")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	var stats struct {
+		Stats   service.Stats `json:"stats"`
+		HitRate float64       `json:"hit_rate"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		return err
+	}
+	fmt.Printf("server: %d builds, %d hits / %d misses (hit rate %.2f), %d evictions, %d graphs\n",
+		stats.Stats.Builds, stats.Stats.CacheHits, stats.Stats.CacheMisses,
+		stats.HitRate, stats.Stats.CacheEvictions, stats.Stats.Graphs)
+	if *requireHits && stats.Stats.CacheHits == 0 {
+		return fmt.Errorf("require-hits: server reports zero cache hits")
+	}
+	return nil
+}
+
+func report(samples []sample, errs int, d time.Duration) {
+	var cold, hit, jobs []time.Duration
+	for _, s := range samples {
+		switch {
+		case s.job:
+			jobs = append(jobs, s.latency)
+		case s.cached:
+			hit = append(hit, s.latency)
+		default:
+			cold = append(cold, s.latency)
+		}
+	}
+	fmt.Printf("requests: %d ok, %d errors, %.1f req/s\n",
+		len(samples), errs, float64(len(samples))/d.Seconds())
+	line := func(name string, ls []time.Duration) {
+		if len(ls) == 0 {
+			fmt.Printf("%-14s 0\n", name+":")
+			return
+		}
+		sort.Slice(ls, func(i, j int) bool { return ls[i] < ls[j] })
+		fmt.Printf("%-14s %-6d p50 %-10v p99 %v\n",
+			name+":", len(ls), quantile(ls, 0.50), quantile(ls, 0.99))
+	}
+	line("cold builds", cold)
+	line("cache hits", hit)
+	if len(jobs) > 0 {
+		line("mst jobs", jobs)
+	}
+	if len(cold) > 0 && len(hit) > 0 {
+		ratio := float64(quantile(cold, 0.50)) / float64(quantile(hit, 0.50))
+		fmt.Printf("hit/cold median speedup: %.1fx\n", ratio)
+	}
+}
+
+// quantile returns the q-th quantile of sorted latencies (nearest rank).
+func quantile(sorted []time.Duration, q float64) time.Duration {
+	i := int(q * float64(len(sorted)-1))
+	return sorted[i].Round(10 * time.Microsecond)
+}

@@ -1,0 +1,99 @@
+// Command locshortd is the shortcut-serving daemon: an HTTP JSON front end
+// over internal/service's concurrent engine and content-addressed cache.
+//
+// Usage:
+//
+//	locshortd [-addr 127.0.0.1:8080] [-workers N] [-cache N] [-queue N]
+//	          [-addrfile PATH]
+//
+// Endpoints:
+//
+//	POST /v1/graphs     ingest a graph (family spec or edge list) → fingerprint
+//	POST /v1/shortcuts  build-or-get a shortcut for (graph, partition, options)
+//	POST /v1/jobs       run mst | mincut | aggregate | measure
+//	GET  /v1/stats      engine counters, hit rate, uptime
+//	GET  /healthz       liveness
+//
+// -addr :0 picks a free port; the bound address is printed on stdout and,
+// with -addrfile, written to PATH so scripts (CI, cmd/loadgen) can find
+// the daemon without racing for a port. SIGINT/SIGTERM drain in-flight
+// requests before exit.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"locshort/internal/service"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal("locshortd: ", err)
+	}
+}
+
+func run() error {
+	var (
+		addr     = flag.String("addr", "127.0.0.1:8080", "listen address (use :0 for a free port)")
+		workers  = flag.Int("workers", 0, "job worker pool size (default GOMAXPROCS)")
+		cacheCap = flag.Int("cache", 0, "resident shortcut capacity (default 64)")
+		queue    = flag.Int("queue", 0, "job queue depth (default 256)")
+		addrfile = flag.String("addrfile", "", "write the bound address to this file")
+	)
+	flag.Parse()
+
+	eng := service.New(service.Config{
+		Workers:       *workers,
+		CacheCapacity: *cacheCap,
+		QueueDepth:    *queue,
+	})
+	defer eng.Close()
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	bound := ln.Addr().String()
+	fmt.Printf("locshortd listening on http://%s\n", bound)
+	if *addrfile != "" {
+		if err := os.WriteFile(*addrfile, []byte(bound), 0o644); err != nil {
+			return err
+		}
+	}
+
+	srv := &http.Server{
+		Handler:           newServer(eng),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+		stop()
+		log.Println("locshortd: shutting down")
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(shutdownCtx); err != nil {
+			return err
+		}
+		if err := <-errc; !errors.Is(err, http.ErrServerClosed) {
+			return err
+		}
+		return nil
+	}
+}

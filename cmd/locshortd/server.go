@@ -1,0 +1,426 @@
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"locshort/internal/cli"
+	"locshort/internal/dist"
+	"locshort/internal/graph"
+	"locshort/internal/partition"
+	"locshort/internal/service"
+)
+
+// server wires the service engine to the HTTP JSON API. Handlers are thin:
+// decode, translate fingerprints, call the engine, encode. All concurrency
+// control (worker pool, cache, singleflight) lives in internal/service.
+type server struct {
+	eng   *service.Engine
+	start time.Time
+	// parts memoizes the (graph, partition spec, seed) → Partition
+	// translation, which is deterministic but costs a BFS per request;
+	// without it, partition parsing dominates cache-hit latency. The memo
+	// stops growing at partMemoLimit entries so unbounded distinct
+	// requests cannot exhaust memory (beyond the limit, parsing just
+	// stays uncached).
+	parts     sync.Map // string → *partition.Partition
+	partCount atomic.Int64
+}
+
+// partMemoLimit caps the partition memo; far above any realistic working
+// set (the shortcut cache holds far fewer entries anyway).
+const partMemoLimit = 4096
+
+func newServer(eng *service.Engine) http.Handler {
+	s := &server{eng: eng, start: time.Now()}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/graphs", s.handleGraphs)
+	mux.HandleFunc("POST /v1/shortcuts", s.handleShortcuts)
+	mux.HandleFunc("POST /v1/jobs", s.handleJobs)
+	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprintln(w, "ok")
+	})
+	return mux
+}
+
+// httpError is the uniform error envelope.
+func httpError(w http.ResponseWriter, code int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(v)
+}
+
+func decode(r *http.Request, v any) error {
+	dec := json.NewDecoder(http.MaxBytesReader(nil, r.Body, 64<<20))
+	dec.DisallowUnknownFields()
+	return dec.Decode(v)
+}
+
+// statusFor maps engine errors to HTTP statuses.
+func statusFor(err error) int {
+	switch {
+	case errors.Is(err, service.ErrUnknownGraph), errors.Is(err, service.ErrUnknownShortcut):
+		return http.StatusNotFound
+	case errors.Is(err, service.ErrClosed):
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusUnprocessableEntity
+	}
+}
+
+// graphRequest ingests a graph either by family spec ("grid:32x32", the
+// internal/cli language) or as an explicit edge list [[u,v],[u,v,w],...].
+type graphRequest struct {
+	Spec  string      `json:"spec,omitempty"`
+	Seed  int64       `json:"seed,omitempty"`
+	Nodes int         `json:"nodes,omitempty"`
+	Edges [][]float64 `json:"edges,omitempty"`
+}
+
+type graphResponse struct {
+	Graph string `json:"graph"`
+	Nodes int    `json:"nodes"`
+	Edges int    `json:"edges"`
+}
+
+func (s *server) handleGraphs(w http.ResponseWriter, r *http.Request) {
+	var req graphRequest
+	if err := decode(r, &req); err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	var g *graph.Graph
+	switch {
+	case req.Spec != "" && req.Edges != nil:
+		httpError(w, http.StatusBadRequest, errors.New("give either spec or edges, not both"))
+		return
+	case req.Spec != "":
+		var err error
+		g, _, err = cli.ParseGraph(req.Spec, req.Seed)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+	case req.Edges != nil:
+		var err error
+		g, err = graphFromEdges(req.Nodes, req.Edges)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+	default:
+		httpError(w, http.StatusBadRequest, errors.New("need spec or nodes+edges"))
+		return
+	}
+	fp, err := s.eng.AddGraph(g)
+	if err != nil {
+		httpError(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	// Respond with the representative's size: on re-ingest of known
+	// content these match the submitted graph by construction.
+	rep, _ := s.eng.Graph(fp)
+	writeJSON(w, graphResponse{Graph: fp.String(), Nodes: rep.NumNodes(), Edges: rep.NumEdges()})
+}
+
+// graphFromEdges validates and assembles an explicit edge list; unlike
+// graph.AddEdge it rejects bad input with an error instead of panicking.
+func graphFromEdges(nodes int, edges [][]float64) (*graph.Graph, error) {
+	if nodes <= 0 {
+		return nil, fmt.Errorf("nodes must be positive, got %d", nodes)
+	}
+	g := graph.New(nodes)
+	for i, e := range edges {
+		if len(e) != 2 && len(e) != 3 {
+			return nil, fmt.Errorf("edge %d: want [u,v] or [u,v,w], got %d values", i, len(e))
+		}
+		u, v := int(e[0]), int(e[1])
+		if float64(u) != e[0] || float64(v) != e[1] {
+			return nil, fmt.Errorf("edge %d: endpoints must be integers", i)
+		}
+		if u < 0 || u >= nodes || v < 0 || v >= nodes {
+			return nil, fmt.Errorf("edge %d: endpoints {%d,%d} out of range [0,%d)", i, u, v, nodes)
+		}
+		if u == v {
+			return nil, fmt.Errorf("edge %d: self-loop at node %d", i, u)
+		}
+		w := 1.0
+		if len(e) == 3 {
+			w = e[2]
+		}
+		g.AddWeightedEdge(u, v, w)
+	}
+	return g, nil
+}
+
+// shortcutRequest asks for a build-or-get of a shortcut on a registered
+// graph. The partition is given as an internal/cli spec plus seed or as an
+// explicit part list; options use the canonical internal/cli textual form.
+type shortcutRequest struct {
+	Graph     string  `json:"graph"`
+	Partition string  `json:"partition,omitempty"`
+	Parts     [][]int `json:"parts,omitempty"`
+	Seed      int64   `json:"seed,omitempty"`
+	Options   string  `json:"options,omitempty"`
+}
+
+type shortcutResponse struct {
+	Shortcut     string  `json:"shortcut"`
+	Graph        string  `json:"graph"`
+	Cached       bool    `json:"cached"`
+	BuildMillis  float64 `json:"build_ms"`
+	Delta        int     `json:"delta"`
+	Congestion   int     `json:"congestion"`
+	Dilation     int     `json:"dilation"`
+	MaxBlocks    int     `json:"max_blocks"`
+	CoveredParts int     `json:"covered_parts"`
+}
+
+func (s *server) handleShortcuts(w http.ResponseWriter, r *http.Request) {
+	var req shortcutRequest
+	if err := decode(r, &req); err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	fp, err := service.ParseFingerprint(req.Graph)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	g, ok := s.eng.Graph(fp)
+	if !ok {
+		httpError(w, http.StatusNotFound, service.ErrUnknownGraph)
+		return
+	}
+	opts, err := cli.ParseBuildOptions(req.Options)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	breq := service.BuildRequest{Graph: fp, Options: opts}
+	switch {
+	case req.Partition != "" && req.Parts != nil:
+		httpError(w, http.StatusBadRequest, errors.New("give either partition or parts, not both"))
+		return
+	case req.Partition != "":
+		pkey := fmt.Sprintf("%s/%s/%d", req.Graph, req.Partition, req.Seed)
+		if cached, ok := s.parts.Load(pkey); ok {
+			breq.Parts = cached.(*partition.Partition)
+		} else if breq.Parts, err = cli.ParsePartition(g, req.Partition, req.Seed); err == nil &&
+			s.partCount.Load() < partMemoLimit {
+			if _, loaded := s.parts.LoadOrStore(pkey, breq.Parts); !loaded {
+				s.partCount.Add(1)
+			}
+		}
+	case req.Parts != nil:
+		breq.Parts, err = partition.New(g, req.Parts)
+	default:
+		httpError(w, http.StatusBadRequest, errors.New("need partition spec or parts"))
+		return
+	}
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	c, hit, err := s.eng.Build(r.Context(), breq)
+	if err != nil {
+		httpError(w, statusFor(err), err)
+		return
+	}
+	// Quality via the engine so first-touch measurement runs on the
+	// bounded worker pool, not the serving goroutine; memoized, so hits
+	// pay only a cache lookup.
+	q, err := s.eng.Measure(r.Context(), c.Key)
+	if err != nil {
+		httpError(w, statusFor(err), err)
+		return
+	}
+	writeJSON(w, shortcutResponse{
+		Shortcut:     c.Key.String(),
+		Graph:        c.GraphFP.String(),
+		Cached:       hit,
+		BuildMillis:  float64(c.BuildTime.Microseconds()) / 1000,
+		Delta:        c.Result.Delta,
+		Congestion:   q.Congestion,
+		Dilation:     q.Dilation,
+		MaxBlocks:    q.MaxBlocks,
+		CoveredParts: q.CoveredParts,
+	})
+}
+
+// jobRequest runs a query job. Kind selects the algorithm; graph-level
+// jobs (mst, mincut) address a graph fingerprint, shortcut-level jobs
+// (aggregate, measure) address a shortcut key from /v1/shortcuts.
+type jobRequest struct {
+	Kind     string `json:"kind"`
+	Graph    string `json:"graph,omitempty"`
+	Shortcut string `json:"shortcut,omitempty"`
+	Seed     int64  `json:"seed,omitempty"`
+	// Op is the aggregation operator: "sum" (default), "min", or "max".
+	Op string `json:"op,omitempty"`
+	// Values optionally carries one int per node for aggregate jobs
+	// (default: constant 1, so sum counts part sizes).
+	Values []int64 `json:"values,omitempty"`
+	// Provider selects the MST/MinCut shortcut provider: "central"
+	// (default), "distributed", "adaptive", or "trivial".
+	Provider string `json:"provider,omitempty"`
+}
+
+func parseOp(s string) (dist.Op, error) {
+	switch s {
+	case "", "sum":
+		return dist.OpSum, nil
+	case "min":
+		return dist.OpMin, nil
+	case "max":
+		return dist.OpMax, nil
+	}
+	return 0, fmt.Errorf("unknown op %q (want sum, min, or max)", s)
+}
+
+func parseProvider(s string) (dist.ProviderKind, error) {
+	switch s {
+	case "", "central":
+		return dist.ProviderCentral, nil
+	case "distributed":
+		return dist.ProviderDistributed, nil
+	case "adaptive":
+		return dist.ProviderCentralAdaptive, nil
+	case "trivial":
+		return dist.ProviderTrivial, nil
+	}
+	return 0, fmt.Errorf("unknown provider %q (want central, distributed, adaptive, or trivial)", s)
+}
+
+type roundsJSON struct {
+	Measured int `json:"measured"`
+	Sync     int `json:"sync"`
+	Charged  int `json:"charged"`
+	Total    int `json:"total"`
+}
+
+func roundsOf(r dist.Rounds) roundsJSON {
+	return roundsJSON{Measured: r.Measured, Sync: r.Sync, Charged: r.Charged, Total: r.Total()}
+}
+
+func (s *server) handleJobs(w http.ResponseWriter, r *http.Request) {
+	var req jobRequest
+	if err := decode(r, &req); err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	ctx := r.Context()
+	switch req.Kind {
+	case "mst":
+		fp, err := service.ParseFingerprint(req.Graph)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+		provider, err := parseProvider(req.Provider)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+		res, err := s.eng.MST(ctx, service.MSTRequest{
+			Graph:   fp,
+			Options: dist.MSTOptions{Provider: provider, Seed: req.Seed},
+		})
+		if err != nil {
+			httpError(w, statusFor(err), err)
+			return
+		}
+		writeJSON(w, map[string]any{
+			"kind": "mst", "weight": res.Weight, "edges": len(res.EdgeIDs),
+			"phases": res.Phases, "rounds": roundsOf(res.Rounds),
+		})
+	case "mincut":
+		fp, err := service.ParseFingerprint(req.Graph)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+		res, err := s.eng.MinCut(ctx, service.MinCutRequest{
+			Graph:   fp,
+			Options: dist.MinCutOptions{Seed: req.Seed},
+		})
+		if err != nil {
+			httpError(w, statusFor(err), err)
+			return
+		}
+		writeJSON(w, map[string]any{
+			"kind": "mincut", "value": res.Value, "trees": res.Trees,
+			"rounds": roundsOf(res.Rounds),
+		})
+	case "aggregate":
+		key, err := service.ParseFingerprint(req.Shortcut)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+		op, err := parseOp(req.Op)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+		areq := service.AggregateRequest{Shortcut: key, Op: op, Seed: req.Seed}
+		if req.Values != nil {
+			areq.Values = make([]dist.Payload, len(req.Values))
+			for i, v := range req.Values {
+				areq.Values[i] = dist.Payload{v, v, v}
+			}
+		}
+		res, err := s.eng.Aggregate(ctx, areq)
+		if err != nil {
+			httpError(w, statusFor(err), err)
+			return
+		}
+		parts := make([]int64, len(res.PartResult))
+		for i, p := range res.PartResult {
+			parts[i] = p[0]
+		}
+		writeJSON(w, map[string]any{
+			"kind": "aggregate", "parts": parts, "rounds": roundsOf(res.Rounds),
+		})
+	case "measure":
+		key, err := service.ParseFingerprint(req.Shortcut)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+		q, err := s.eng.Measure(ctx, key)
+		if err != nil {
+			httpError(w, statusFor(err), err)
+			return
+		}
+		writeJSON(w, map[string]any{
+			"kind": "measure", "congestion": q.Congestion, "dilation": q.Dilation,
+			"max_blocks": q.MaxBlocks, "covered_parts": q.CoveredParts,
+			"dilation_exact": q.DilationExact,
+		})
+	default:
+		httpError(w, http.StatusBadRequest,
+			fmt.Errorf("unknown job kind %q (want mst, mincut, aggregate, or measure)", req.Kind))
+	}
+}
+
+func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
+	st := s.eng.Stats()
+	writeJSON(w, map[string]any{
+		"stats":          st,
+		"hit_rate":       st.HitRate(),
+		"uptime_seconds": time.Since(s.start).Seconds(),
+	})
+}

@@ -1,0 +1,236 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"locshort/internal/cli"
+	"locshort/internal/graph"
+	"locshort/internal/service"
+)
+
+// postJSON round-trips a JSON request against the test server, failing the
+// test on transport errors and decoding into out when the status matches.
+func postJSON(t *testing.T, url string, body any, wantStatus int, out any) {
+	t.Helper()
+	b, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != wantStatus {
+		var e map[string]string
+		json.NewDecoder(resp.Body).Decode(&e)
+		t.Fatalf("POST %s: status %d (want %d): %s", url, resp.StatusCode, wantStatus, e["error"])
+	}
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestEndToEnd ingests a grid, builds a shortcut (cold then hot), and runs
+// MST and aggregation through the HTTP API — the full daemon lifecycle
+// minus the TCP listener.
+func TestEndToEnd(t *testing.T) {
+	eng := service.New(service.Config{Workers: 2})
+	defer eng.Close()
+	ts := httptest.NewServer(newServer(eng))
+	defer ts.Close()
+
+	// Ingest a 16x16 grid by family spec.
+	var g struct {
+		Graph string `json:"graph"`
+		Nodes int    `json:"nodes"`
+		Edges int    `json:"edges"`
+	}
+	postJSON(t, ts.URL+"/v1/graphs", map[string]any{"spec": "grid:16x16"}, http.StatusOK, &g)
+	if g.Nodes != 256 || g.Edges != 480 {
+		t.Fatalf("grid ingest = %d nodes / %d edges, want 256/480", g.Nodes, g.Edges)
+	}
+
+	// Re-ingesting the same content must return the same fingerprint.
+	var g2 struct {
+		Graph string `json:"graph"`
+	}
+	postJSON(t, ts.URL+"/v1/graphs", map[string]any{"spec": "grid:16x16"}, http.StatusOK, &g2)
+	if g2.Graph != g.Graph {
+		t.Fatalf("re-ingest fingerprint %s != %s", g2.Graph, g.Graph)
+	}
+
+	// Build a shortcut: cold, then a cache hit for the same request.
+	build := map[string]any{"graph": g.Graph, "partition": "blobs:16", "seed": 7}
+	var s1, s2 struct {
+		Shortcut     string  `json:"shortcut"`
+		Cached       bool    `json:"cached"`
+		BuildMillis  float64 `json:"build_ms"`
+		Congestion   int     `json:"congestion"`
+		Dilation     int     `json:"dilation"`
+		CoveredParts int     `json:"covered_parts"`
+	}
+	postJSON(t, ts.URL+"/v1/shortcuts", build, http.StatusOK, &s1)
+	if s1.Cached {
+		t.Error("first build reported cached")
+	}
+	if s1.CoveredParts != 16 || s1.Congestion < 1 || s1.Dilation < 1 {
+		t.Errorf("implausible quality: %+v", s1)
+	}
+	postJSON(t, ts.URL+"/v1/shortcuts", build, http.StatusOK, &s2)
+	if !s2.Cached || s2.Shortcut != s1.Shortcut {
+		t.Errorf("second build: cached=%v key=%s, want hit on %s", s2.Cached, s2.Shortcut, s1.Shortcut)
+	}
+
+	// A different partition seed is a different shortcut.
+	var s3 struct {
+		Shortcut string `json:"shortcut"`
+		Cached   bool   `json:"cached"`
+	}
+	postJSON(t, ts.URL+"/v1/shortcuts",
+		map[string]any{"graph": g.Graph, "partition": "blobs:16", "seed": 8},
+		http.StatusOK, &s3)
+	if s3.Cached || s3.Shortcut == s1.Shortcut {
+		t.Error("distinct partition seed did not produce a distinct cold build")
+	}
+
+	// MST through the API matches Kruskal computed locally.
+	var mst struct {
+		Weight float64 `json:"weight"`
+		Edges  int     `json:"edges"`
+		Phases int     `json:"phases"`
+	}
+	postJSON(t, ts.URL+"/v1/jobs", map[string]any{"kind": "mst", "graph": g.Graph},
+		http.StatusOK, &mst)
+	local, _, err := cli.ParseGraph("grid:16x16", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, want := graph.Kruskal(local)
+	if math.Abs(mst.Weight-want) > 1e-9 || mst.Edges != 255 {
+		t.Errorf("MST = %+v, want weight %v with 255 edges", mst, want)
+	}
+
+	// Aggregation over the cached shortcut counts part sizes.
+	var agg struct {
+		Parts []int64 `json:"parts"`
+	}
+	postJSON(t, ts.URL+"/v1/jobs",
+		map[string]any{"kind": "aggregate", "shortcut": s1.Shortcut, "op": "sum"},
+		http.StatusOK, &agg)
+	total := int64(0)
+	for _, p := range agg.Parts {
+		total += p
+	}
+	if len(agg.Parts) != 16 || total != 256 {
+		t.Errorf("aggregate parts = %v (total %d), want 16 parts totaling 256", agg.Parts, total)
+	}
+
+	// Measure over the cached shortcut agrees with the build response.
+	var meas struct {
+		Congestion int `json:"congestion"`
+		Dilation   int `json:"dilation"`
+	}
+	postJSON(t, ts.URL+"/v1/jobs", map[string]any{"kind": "measure", "shortcut": s1.Shortcut},
+		http.StatusOK, &meas)
+	if meas.Congestion != s1.Congestion || meas.Dilation != s1.Dilation {
+		t.Errorf("measure %+v disagrees with build response %+v", meas, s1)
+	}
+
+	// Stats reflect the traffic.
+	resp, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var stats struct {
+		Stats   service.Stats `json:"stats"`
+		HitRate float64       `json:"hit_rate"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Stats.Builds != 2 {
+		t.Errorf("Builds = %d, want 2 (two distinct shortcuts)", stats.Stats.Builds)
+	}
+	if stats.Stats.CacheHits == 0 || stats.HitRate <= 0 {
+		t.Errorf("no cache hits recorded: %+v", stats)
+	}
+	if stats.Stats.Graphs != 1 {
+		t.Errorf("Graphs = %d, want 1", stats.Stats.Graphs)
+	}
+}
+
+func TestEndToEndExplicitEdgesAndParts(t *testing.T) {
+	eng := service.New(service.Config{Workers: 1})
+	defer eng.Close()
+	ts := httptest.NewServer(newServer(eng))
+	defer ts.Close()
+
+	// A weighted 4-cycle given as an explicit edge list.
+	var g struct {
+		Graph string `json:"graph"`
+		Edges int    `json:"edges"`
+	}
+	postJSON(t, ts.URL+"/v1/graphs", map[string]any{
+		"nodes": 4,
+		"edges": [][]float64{{0, 1}, {1, 2, 2.5}, {2, 3}, {3, 0}},
+	}, http.StatusOK, &g)
+	if g.Edges != 4 {
+		t.Fatalf("edges = %d, want 4", g.Edges)
+	}
+
+	var sc struct {
+		Shortcut     string `json:"shortcut"`
+		CoveredParts int    `json:"covered_parts"`
+	}
+	postJSON(t, ts.URL+"/v1/shortcuts", map[string]any{
+		"graph": g.Graph,
+		"parts": [][]int{{0, 1}, {2, 3}},
+	}, http.StatusOK, &sc)
+	if sc.CoveredParts != 2 {
+		t.Errorf("covered parts = %d, want 2", sc.CoveredParts)
+	}
+}
+
+func TestAPIErrors(t *testing.T) {
+	eng := service.New(service.Config{Workers: 1})
+	defer eng.Close()
+	ts := httptest.NewServer(newServer(eng))
+	defer ts.Close()
+
+	// Unknown graph fingerprint: 404.
+	postJSON(t, ts.URL+"/v1/shortcuts",
+		map[string]any{"graph": "00000000000000ff", "partition": "blobs:4"},
+		http.StatusNotFound, nil)
+	postJSON(t, ts.URL+"/v1/jobs",
+		map[string]any{"kind": "mst", "graph": "00000000000000ff"},
+		http.StatusNotFound, nil)
+	// Unknown shortcut key: 404.
+	postJSON(t, ts.URL+"/v1/jobs",
+		map[string]any{"kind": "measure", "shortcut": "00000000000000ff"},
+		http.StatusNotFound, nil)
+	// Malformed requests: 400.
+	postJSON(t, ts.URL+"/v1/graphs", map[string]any{}, http.StatusBadRequest, nil)
+	postJSON(t, ts.URL+"/v1/graphs",
+		map[string]any{"spec": "nosuch:1"}, http.StatusBadRequest, nil)
+	postJSON(t, ts.URL+"/v1/graphs",
+		map[string]any{"nodes": 3, "edges": [][]float64{{0, 0}}}, http.StatusBadRequest, nil)
+	postJSON(t, ts.URL+"/v1/jobs", map[string]any{"kind": "frobnicate"}, http.StatusBadRequest, nil)
+
+	// Bad options string: 400.
+	var g struct {
+		Graph string `json:"graph"`
+	}
+	postJSON(t, ts.URL+"/v1/graphs", map[string]any{"spec": "path:4"}, http.StatusOK, &g)
+	postJSON(t, ts.URL+"/v1/shortcuts",
+		map[string]any{"graph": g.Graph, "partition": "singletons", "options": "zeta=1"},
+		http.StatusBadRequest, nil)
+}

@@ -4,10 +4,14 @@
 //
 // Usage:
 //
-//	shortcutbench [-exp E1,E4] [-quick] [-seed N] [-list]
+//	shortcutbench [-exp E1,E4] [-quick] [-seed N] [-list] [-json] [-out F]
 //
-// Without -exp, every registered experiment runs in order. Output is
-// GitHub-flavored markdown on stdout.
+// Without -exp, every registered experiment runs in order ("-exp none"
+// runs none). Output is GitHub-flavored markdown on stdout. With -json, a
+// machine-readable benchmark report (family, n, congestion, dilation,
+// build ns/op) is additionally written to -out, defaulting to
+// BENCH_<timestamp>.json, so the performance trajectory is tracked across
+// PRs.
 package main
 
 import (
@@ -29,10 +33,12 @@ func main() {
 
 func run() error {
 	var (
-		expFlag  = flag.String("exp", "", "comma-separated experiment IDs (default: all)")
+		expFlag  = flag.String("exp", "", `comma-separated experiment IDs (default: all; "none": skip)`)
 		quick    = flag.Bool("quick", false, "reduced instance sizes")
 		seed     = flag.Int64("seed", 1, "random seed")
 		listOnly = flag.Bool("list", false, "list experiments and exit")
+		jsonOut  = flag.Bool("json", false, "write a machine-readable benchmark report")
+		outPath  = flag.String("out", "", "report path (default BENCH_<timestamp>.json)")
 	)
 	flag.Parse()
 
@@ -44,9 +50,11 @@ func run() error {
 	}
 
 	var exps []bench.Experiment
-	if *expFlag == "" {
+	switch *expFlag {
+	case "":
 		exps = bench.All()
-	} else {
+	case "none":
+	default:
 		for _, id := range strings.Split(*expFlag, ",") {
 			id = strings.TrimSpace(id)
 			e, ok := bench.ByID(id)
@@ -68,6 +76,20 @@ func run() error {
 		fmt.Println(tab.String())
 		fmt.Printf("(%s completed in %v)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
 		violations += len(tab.Violations())
+	}
+	if *jsonOut {
+		rep, err := bench.JSONReport(cfg, time.Now())
+		if err != nil {
+			return fmt.Errorf("json report: %w", err)
+		}
+		path := *outPath
+		if path == "" {
+			path = rep.DefaultReportPath()
+		}
+		if err := rep.WriteFile(path); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s (%d records)\n", path, len(rep.Records))
 	}
 	if violations > 0 {
 		return fmt.Errorf("%d bound violations — see NO cells above", violations)

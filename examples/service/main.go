@@ -1,0 +1,117 @@
+// Service walkthrough: the in-process serving engine — register a graph by
+// content fingerprint, build a shortcut once, watch the second request hit
+// the cache, then amortize the build across jobs (aggregation rounds, MST,
+// quality measurement) the way cmd/locshortd does over HTTP.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"math/rand"
+	"sync"
+	"time"
+
+	"locshort"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	eng := locshort.NewServiceEngine(locshort.ServiceConfig{Workers: 4, CacheCapacity: 16})
+	defer eng.Close()
+	ctx := context.Background()
+
+	// Register a 32x32 grid. The fingerprint is a content address: the
+	// same structure always maps to the same 16-hex-digit name.
+	g := locshort.Grid(32, 32)
+	fp, err := eng.AddGraph(g)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("graph %s: %d nodes, %d edges\n", fp, g.NumNodes(), g.NumEdges())
+
+	// A deterministic partition: 32 BFS blobs from seed 7.
+	p, err := locshort.BFSBlobs(g, 32, rand.New(rand.NewSource(7)))
+	if err != nil {
+		return err
+	}
+
+	// Cold build. The engine runs shortcut.Build on its worker pool and
+	// caches the result under ShortcutKey(graph, partition, options).
+	req := locshort.ServiceBuildRequest{Graph: fp, Parts: p}
+	start := time.Now()
+	c, hit, err := eng.Build(ctx, req)
+	if err != nil {
+		return err
+	}
+	cold := time.Since(start)
+	fmt.Printf("cold build: shortcut %s in %v (cache hit: %v)\n", c.Key, cold.Round(time.Microsecond), hit)
+
+	// The same request again: a cache hit, orders of magnitude faster.
+	start = time.Now()
+	_, hit, err = eng.Build(ctx, req)
+	if err != nil {
+		return err
+	}
+	warm := time.Since(start)
+	fmt.Printf("warm build: %v (cache hit: %v, %.0fx faster)\n",
+		warm.Round(time.Microsecond), hit, float64(cold)/float64(warm))
+
+	// Concurrent identical requests collapse into the one cached entry —
+	// the singleflight guarantee that a popular (graph, partition) never
+	// triggers a thundering herd of builds.
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, _, err := eng.Build(ctx, req); err != nil {
+				log.Println("concurrent build:", err)
+			}
+		}()
+	}
+	wg.Wait()
+
+	// Amortization: many aggregation rounds reuse the one cached shortcut
+	// and its memoized routing. Part sizes via OpSum of constant 1.
+	agg, err := eng.Aggregate(ctx, locshort.ServiceAggregateRequest{Shortcut: c.Key, Op: locshort.OpSum})
+	if err != nil {
+		return err
+	}
+	small, big := agg.PartResult[0][0], agg.PartResult[0][0]
+	for _, pr := range agg.PartResult {
+		if pr[0] < small {
+			small = pr[0]
+		}
+		if pr[0] > big {
+			big = pr[0]
+		}
+	}
+	fmt.Printf("aggregate: %d parts, sizes %d..%d, %d simulated rounds\n",
+		len(agg.PartResult), small, big, agg.Rounds.Total())
+
+	// Quality measurement is memoized on the cached entry.
+	q, err := eng.Measure(ctx, c.Key)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("quality: congestion %d, dilation %d (delta' = %d)\n",
+		q.Congestion, q.Dilation, c.Result.Delta)
+
+	// A graph-level job on the same registered graph.
+	mst, err := eng.MST(ctx, locshort.ServiceMSTRequest{Graph: fp})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("MST: weight %.0f over %d phases\n", mst.Weight, mst.Phases)
+
+	st := eng.Stats()
+	fmt.Printf("stats: %d builds, %d hits / %d misses (hit rate %.2f), %d jobs done\n",
+		st.Builds, st.CacheHits, st.CacheMisses, st.HitRate(), st.JobsDone)
+	return nil
+}

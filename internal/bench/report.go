@@ -1,0 +1,92 @@
+package bench
+
+import (
+	"encoding/json"
+	"os"
+	"time"
+
+	"locshort/internal/shortcut"
+)
+
+// BenchRecord is one machine-readable benchmark data point: the measured
+// shortcut quality and construction cost for one workload family. A file
+// of these per PR tracks the performance trajectory across the repo's
+// history.
+type BenchRecord struct {
+	Family       string `json:"family"`
+	Nodes        int    `json:"n"`
+	EdgeCount    int    `json:"m"`
+	Parts        int    `json:"parts"`
+	Delta        int    `json:"delta"`
+	Congestion   int    `json:"congestion"`
+	Dilation     int    `json:"dilation"`
+	BuildNsPerOp int64  `json:"build_ns_per_op"`
+}
+
+// Report is the BENCH_<timestamp>.json payload.
+type Report struct {
+	Timestamp string        `json:"timestamp"`
+	Quick     bool          `json:"quick"`
+	Seed      int64         `json:"seed"`
+	Records   []BenchRecord `json:"records"`
+}
+
+// buildTimingIters builds each family this many times and records the
+// fastest run, damping scheduler noise without burning CI minutes.
+const buildTimingIters = 3
+
+// JSONReport times the Theorem 3.1 construction over the standard
+// benchmark families and packages quality plus build cost as a Report.
+func JSONReport(cfg Config, now time.Time) (*Report, error) {
+	fams, err := standardFamilies(cfg)
+	if err != nil {
+		return nil, err
+	}
+	rep := &Report{
+		Timestamp: now.UTC().Format("20060102T150405Z"),
+		Quick:     cfg.Quick,
+		Seed:      cfg.Seed,
+	}
+	for _, f := range fams {
+		var res *shortcut.Result
+		best := int64(-1)
+		for i := 0; i < buildTimingIters; i++ {
+			start := time.Now()
+			r, err := shortcut.Build(f.g, f.p, shortcut.Options{})
+			ns := time.Since(start).Nanoseconds()
+			if err != nil {
+				return nil, err
+			}
+			if best < 0 || ns < best {
+				best, res = ns, r
+			}
+		}
+		q := shortcut.Measure(res.Shortcut)
+		rep.Records = append(rep.Records, BenchRecord{
+			Family:       f.name,
+			Nodes:        f.g.NumNodes(),
+			EdgeCount:    f.g.NumEdges(),
+			Parts:        f.p.NumParts(),
+			Delta:        res.Delta,
+			Congestion:   q.Congestion,
+			Dilation:     q.Dilation,
+			BuildNsPerOp: best,
+		})
+	}
+	return rep, nil
+}
+
+// WriteFile marshals the report (indented, trailing newline) to path.
+func (r *Report) WriteFile(path string) error {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}
+
+// DefaultReportPath names the report file for its timestamp:
+// BENCH_<timestamp>.json in the current directory.
+func (r *Report) DefaultReportPath() string {
+	return "BENCH_" + r.Timestamp + ".json"
+}

@@ -1,5 +1,8 @@
-// Package cli holds helpers shared by the command-line tools: parsing
-// graph-family specs like "grid:16x16" or "ktree:200,4" into graphs.
+// Package cli holds helpers shared by the command-line tools and the
+// service layer: parsing graph-family specs like "grid:16x16" or
+// "ktree:200,4" into graphs, partition specs like "blobs:32" into
+// partitions, and the canonical textual form of shortcut build options
+// exchanged by locshortd and loadgen.
 package cli
 
 import (
@@ -9,6 +12,8 @@ import (
 	"strings"
 
 	"locshort/internal/graph"
+	"locshort/internal/partition"
+	"locshort/internal/shortcut"
 )
 
 // ParseGraph builds a graph from a family spec. Supported kinds:
@@ -103,4 +108,113 @@ func ParseGraph(spec string, seed int64) (g *graph.Graph, rows [][]int, err erro
 	default:
 		return nil, nil, fmt.Errorf("cli: unknown graph kind %q", kind)
 	}
+}
+
+// ParsePartition builds a partition of g from a spec. Supported kinds:
+//
+//	blobs:K      K connected BFS-Voronoi parts from random seeds
+//	rows:RxC     the row paths of a Grid(R, C) graph
+//	rim          the wheel rim + center partition (Wheel graphs)
+//	singletons   every node its own part
+//
+// seed drives the randomness of blobs; the other kinds are deterministic.
+func ParsePartition(g *graph.Graph, spec string, seed int64) (*partition.Partition, error) {
+	kind, arg, _ := strings.Cut(spec, ":")
+	switch kind {
+	case "blobs":
+		k, err := strconv.Atoi(arg)
+		if err != nil {
+			return nil, fmt.Errorf("cli: partition spec %q: %w", spec, err)
+		}
+		return partition.BFSBlobs(g, k, rand.New(rand.NewSource(seed)))
+	case "rows":
+		a, b, ok := strings.Cut(arg, "x")
+		if !ok {
+			return nil, fmt.Errorf("cli: partition spec %q needs RxC", spec)
+		}
+		r, err := strconv.Atoi(a)
+		if err != nil {
+			return nil, fmt.Errorf("cli: partition spec %q: %w", spec, err)
+		}
+		c, err := strconv.Atoi(b)
+		if err != nil {
+			return nil, fmt.Errorf("cli: partition spec %q: %w", spec, err)
+		}
+		return partition.GridRows(g, r, c)
+	case "rim":
+		return partition.WheelRim(g)
+	case "singletons":
+		return partition.Singletons(g)
+	default:
+		return nil, fmt.Errorf("cli: unknown partition kind %q", kind)
+	}
+}
+
+// buildOptionKeys lists, in canonical order, the textual keys of the
+// shortcut.Options fields the service layer exchanges; accessor pairs keep
+// Format and Parse in lockstep.
+var buildOptionKeys = []string{"delta", "maxdelta", "cf", "bf", "iters"}
+
+func buildOptionField(o *shortcut.Options, key string) *int {
+	switch key {
+	case "delta":
+		return &o.Delta
+	case "maxdelta":
+		return &o.MaxDelta
+	case "cf":
+		return &o.CongestionFactor
+	case "bf":
+		return &o.BlockFactor
+	case "iters":
+		return &o.MaxIterations
+	}
+	return nil
+}
+
+// FormatBuildOptions renders the service-relevant fields of opts in the
+// canonical spec form "delta=0,maxdelta=0,cf=0,bf=0,iters=0" — every key
+// present, fixed order — so equal options always format identically.
+// Tree, Certify, and Rng have no textual form (the service rejects them).
+func FormatBuildOptions(o shortcut.Options) string {
+	parts := make([]string, len(buildOptionKeys))
+	for i, k := range buildOptionKeys {
+		parts[i] = fmt.Sprintf("%s=%d", k, *buildOptionField(&o, k))
+	}
+	return strings.Join(parts, ",")
+}
+
+// ParseBuildOptions parses the FormatBuildOptions form. Keys may appear in
+// any order and any subset (missing keys stay zero, i.e. paper defaults);
+// duplicate or unknown keys are errors. The empty string is the zero
+// Options.
+func ParseBuildOptions(s string) (shortcut.Options, error) {
+	var o shortcut.Options
+	if s == "" {
+		return o, nil
+	}
+	seen := make(map[string]bool)
+	for _, kv := range strings.Split(s, ",") {
+		k, v, ok := strings.Cut(strings.TrimSpace(kv), "=")
+		if !ok {
+			return o, fmt.Errorf("cli: build options %q: entry %q is not key=value", s, kv)
+		}
+		f := buildOptionField(&o, k)
+		if f == nil {
+			return o, fmt.Errorf("cli: build options %q: unknown key %q (known: %s)",
+				s, k, strings.Join(buildOptionKeys, ", "))
+		}
+		if seen[k] {
+			return o, fmt.Errorf("cli: build options %q: duplicate key %q", s, k)
+		}
+		seen[k] = true
+		n, err := strconv.Atoi(v)
+		if err != nil {
+			return o, fmt.Errorf("cli: build options %q: %w", s, err)
+		}
+		if n < 0 {
+			return o, fmt.Errorf("cli: build options %q: %s must be non-negative", s, k)
+		}
+		*f = n
+	}
+	return o, nil
 }

@@ -1,0 +1,48 @@
+package graph
+
+import (
+	"encoding/binary"
+	"math"
+	"sort"
+)
+
+// AppendCanonical appends a canonical binary encoding of the graph to b and
+// returns the extended buffer. Two graphs produce identical encodings if and
+// only if they have the same node count and the same multiset of weighted
+// edges: endpoints are normalized to (min, max) and the edge list is sorted
+// by (u, v, w), so neither the orientation nor the insertion order of edges
+// affects the encoding. Edge IDs are deliberately not encoded — callers that
+// address graphs by content (internal/service) keep the first-seen graph as
+// the representative for its fingerprint, and all ID-bearing answers refer
+// to that representative.
+func (g *Graph) AppendCanonical(b []byte) []byte {
+	type cedge struct {
+		u, v int
+		w    float64
+	}
+	ce := make([]cedge, len(g.edges))
+	for i, e := range g.edges {
+		u, v := e.U, e.V
+		if u > v {
+			u, v = v, u
+		}
+		ce[i] = cedge{u, v, e.W}
+	}
+	sort.Slice(ce, func(i, j int) bool {
+		if ce[i].u != ce[j].u {
+			return ce[i].u < ce[j].u
+		}
+		if ce[i].v != ce[j].v {
+			return ce[i].v < ce[j].v
+		}
+		return ce[i].w < ce[j].w
+	})
+	b = binary.BigEndian.AppendUint64(b, uint64(g.n))
+	b = binary.BigEndian.AppendUint64(b, uint64(len(ce)))
+	for _, e := range ce {
+		b = binary.BigEndian.AppendUint64(b, uint64(e.u))
+		b = binary.BigEndian.AppendUint64(b, uint64(e.v))
+		b = binary.BigEndian.AppendUint64(b, math.Float64bits(e.w))
+	}
+	return b
+}

@@ -1,0 +1,415 @@
+// Package service is the concurrent shortcut-serving layer: a
+// content-addressed cache of built shortcuts in front of the centralized
+// construction, plus a bounded worker pool that executes build and query
+// jobs (MST, MinCut, part-wise aggregation, quality measurement) against
+// cached shortcuts.
+//
+// The paper's economics motivate the design: a shortcut is built once per
+// (graph, partition) and then amortized across many part-wise aggregation
+// rounds. The service makes that amortization explicit across *requests*:
+// graphs are registered by content fingerprint, shortcuts are addressed by
+// a key covering (graph, partition, build options), concurrent requests for
+// the same key collapse into exactly one construction (singleflight), and
+// completed constructions stay resident in a sharded LRU until evicted
+// under capacity pressure.
+//
+// cmd/locshortd exposes the engine over HTTP; cmd/loadgen drives it. See
+// DESIGN.md, "Service layer", for the fingerprinting scheme and the job
+// lifecycle.
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"locshort/internal/dist"
+	"locshort/internal/graph"
+	"locshort/internal/partition"
+	"locshort/internal/shortcut"
+)
+
+// Config tunes an Engine. The zero value selects sensible defaults.
+type Config struct {
+	// Workers is the size of the job worker pool (default GOMAXPROCS).
+	Workers int
+	// QueueDepth bounds the number of accepted-but-unstarted jobs
+	// (default 256); submission blocks once the queue is full.
+	QueueDepth int
+	// CacheCapacity bounds the number of resident built shortcuts
+	// (default 64, split across shards).
+	CacheCapacity int
+	// CacheShards is rounded up to a power of two (default 16).
+	CacheShards int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 256
+	}
+	if c.CacheCapacity <= 0 {
+		c.CacheCapacity = 64
+	}
+	if c.CacheShards <= 0 {
+		c.CacheShards = 16
+	}
+	return c
+}
+
+// ErrClosed is returned for submissions after Close.
+var ErrClosed = errors.New("service: engine closed")
+
+// ErrUnknownGraph is returned when a request references a fingerprint that
+// was never registered with this engine.
+var ErrUnknownGraph = errors.New("service: unknown graph fingerprint")
+
+// ErrUnknownShortcut is returned when a job references a shortcut key that
+// is not resident in the cache.
+var ErrUnknownShortcut = errors.New("service: unknown shortcut key")
+
+// Cached is a built shortcut resident in the engine's cache, together with
+// lazily materialized derived state: measured quality and installed
+// part-wise aggregation routing. Both are computed at most once per cache
+// residency and shared by every subsequent request.
+type Cached struct {
+	// Key is the shortcut's content address; GraphFP the graph's.
+	Key     Fingerprint
+	GraphFP Fingerprint
+	// G and Parts are the inputs the shortcut was built from (G is the
+	// engine's representative graph for GraphFP).
+	G     *graph.Graph
+	Parts *partition.Partition
+	// Result is the shortcut.Build outcome.
+	Result *shortcut.Result
+	// BuildTime is the wall-clock cost of the construction that populated
+	// this entry — what a cache hit saves.
+	BuildTime time.Duration
+
+	qualityOnce sync.Once
+	quality     shortcut.Quality
+	routingOnce sync.Once
+	routing     *dist.PARouting
+	routingErr  error
+}
+
+// Quality measures the shortcut, memoized for the cache residency.
+func (c *Cached) Quality() shortcut.Quality {
+	c.qualityOnce.Do(func() { c.quality = shortcut.Measure(c.Result.Shortcut) })
+	return c.quality
+}
+
+// Routing installs (once) and returns the part-wise aggregation routing.
+func (c *Cached) Routing() (*dist.PARouting, error) {
+	c.routingOnce.Do(func() { c.routing, c.routingErr = dist.NewPARouting(c.Result.Shortcut) })
+	return c.routing, c.routingErr
+}
+
+// Engine is the concurrent shortcut-serving engine. All exported methods
+// are safe for concurrent use; query methods block until a worker has
+// executed the job, the context is canceled, or the engine closes.
+type Engine struct {
+	cfg   Config
+	cache *cache
+	jobs  chan *job
+	quit  chan struct{}
+	wg    sync.WaitGroup
+
+	mu     sync.RWMutex
+	graphs map[Fingerprint]*graph.Graph
+
+	counters counters
+}
+
+// New starts an engine with cfg's worker pool and cache.
+func New(cfg Config) *Engine {
+	cfg = cfg.withDefaults()
+	e := &Engine{
+		cfg:    cfg,
+		jobs:   make(chan *job, cfg.QueueDepth),
+		quit:   make(chan struct{}),
+		graphs: make(map[Fingerprint]*graph.Graph),
+	}
+	e.cache = newCache(cfg.CacheShards, cfg.CacheCapacity, &e.counters)
+	e.wg.Add(cfg.Workers)
+	for i := 0; i < cfg.Workers; i++ {
+		go e.worker()
+	}
+	return e
+}
+
+// Close stops the worker pool. In-flight jobs finish; queued and future
+// submissions fail with ErrClosed. Close is idempotent per engine lifetime
+// and must not be called twice.
+func (e *Engine) Close() {
+	close(e.quit)
+	e.wg.Wait()
+}
+
+// Stats returns an atomic snapshot of the engine counters.
+func (e *Engine) Stats() Stats {
+	s := e.counters.snapshot()
+	s.CachedEntries = e.cache.len()
+	e.mu.RLock()
+	s.Graphs = len(e.graphs)
+	e.mu.RUnlock()
+	return s
+}
+
+// AddGraph validates and registers g under its content fingerprint and
+// returns the fingerprint. The first graph registered for a fingerprint
+// becomes the representative all jobs run against; re-registering the same
+// content is a cheap no-op that returns the same fingerprint. Registered
+// graphs are pinned for the engine's lifetime (only built shortcuts are
+// LRU-bounded); deployments with unbounded distinct-graph traffic should
+// recycle engines or front them with an ingest quota.
+func (e *Engine) AddGraph(g *graph.Graph) (Fingerprint, error) {
+	if err := g.Validate(); err != nil {
+		return 0, err
+	}
+	fp := FingerprintGraph(g)
+	e.mu.Lock()
+	if _, ok := e.graphs[fp]; !ok {
+		e.graphs[fp] = g
+	}
+	e.mu.Unlock()
+	return fp, nil
+}
+
+// Graph returns the representative graph for fp.
+func (e *Engine) Graph(fp Fingerprint) (*graph.Graph, bool) {
+	e.mu.RLock()
+	g, ok := e.graphs[fp]
+	e.mu.RUnlock()
+	return g, ok
+}
+
+// Shortcut returns the resident cached shortcut for key without building.
+func (e *Engine) Shortcut(key Fingerprint) (*Cached, bool) {
+	return e.cache.peek(key)
+}
+
+// job is one unit of worker-pool work. run executes with the submitter's
+// context; done is closed when the job has finished (or been skipped
+// because its context was already canceled at pickup).
+type job struct {
+	ctx  context.Context
+	run  func(context.Context)
+	done chan struct{}
+}
+
+func (e *Engine) worker() {
+	defer e.wg.Done()
+	for {
+		select {
+		case <-e.quit:
+			return
+		case j := <-e.jobs:
+			e.counters.queueDepth.Add(-1)
+			if j.ctx.Err() != nil {
+				e.counters.jobsCanceled.Add(1)
+				close(j.done)
+				continue
+			}
+			e.counters.running.Add(1)
+			start := time.Now()
+			j.run(j.ctx)
+			e.counters.jobNs.Add(time.Since(start).Nanoseconds())
+			e.counters.running.Add(-1)
+			close(j.done)
+		}
+	}
+}
+
+// submit runs fn on the worker pool and waits for it, honoring ctx while
+// queued or running and failing fast once the engine closes. A context
+// canceled mid-run abandons the wait; the worker still finishes fn.
+func submit[T any](e *Engine, ctx context.Context, fn func(context.Context) (T, error)) (T, error) {
+	var zero T
+	var res T
+	var err error
+	canceled := errors.New("skipped")
+	err = canceled // overwritten unless the job is skipped at pickup
+	j := &job{ctx: ctx, done: make(chan struct{})}
+	j.run = func(ctx context.Context) { res, err = fn(ctx) }
+	e.counters.queueDepth.Add(1)
+	select {
+	case e.jobs <- j:
+	case <-ctx.Done():
+		e.counters.queueDepth.Add(-1)
+		return zero, ctx.Err()
+	case <-e.quit:
+		e.counters.queueDepth.Add(-1)
+		return zero, ErrClosed
+	}
+	select {
+	case <-j.done:
+		if err == canceled {
+			return zero, ctx.Err()
+		}
+		if err != nil {
+			e.counters.jobsFailed.Add(1)
+			return zero, err
+		}
+		e.counters.jobsDone.Add(1)
+		return res, nil
+	case <-ctx.Done():
+		return zero, ctx.Err()
+	case <-e.quit:
+		return zero, ErrClosed
+	}
+}
+
+// BuildRequest asks for a shortcut on a registered graph.
+type BuildRequest struct {
+	// Graph is the fingerprint returned by AddGraph.
+	Graph Fingerprint
+	// Parts is the partition to cover (validated against the
+	// representative graph by partition construction).
+	Parts *partition.Partition
+	// Options configures shortcut.Build. Tree, Certify, and Rng must be
+	// unset: the service owns tree choice and never certifies.
+	Options shortcut.Options
+}
+
+// Build returns the cached shortcut for the request, constructing it at
+// most once per cache residency regardless of how many concurrent callers
+// ask (singleflight). The construction itself runs on the worker pool.
+// hit reports whether the shortcut was already built when the request
+// arrived (the fast path a cache hit buys); singleflight joiners that
+// waited for an in-flight build report hit=false.
+func (e *Engine) Build(ctx context.Context, req BuildRequest) (c *Cached, hit bool, err error) {
+	if req.Options.Tree != nil || req.Options.Certify || req.Options.Rng != nil {
+		return nil, false, fmt.Errorf("service: BuildRequest options must not set Tree, Certify, or Rng")
+	}
+	g, ok := e.Graph(req.Graph)
+	if !ok {
+		return nil, false, ErrUnknownGraph
+	}
+	if req.Parts == nil {
+		return nil, false, fmt.Errorf("service: BuildRequest needs a partition")
+	}
+	if len(req.Parts.PartOf) != g.NumNodes() {
+		return nil, false, fmt.Errorf("service: partition covers %d nodes, graph has %d",
+			len(req.Parts.PartOf), g.NumNodes())
+	}
+	key := ShortcutKey(req.Graph, req.Parts, req.Options)
+	return e.cache.getOrBuild(ctx, key, func() (*Cached, error) {
+		// The build job deliberately detaches from the triggering caller's
+		// cancellation: every waiter (including the first) abandons
+		// individually via getOrBuild, while the construction itself runs
+		// to completion and warms the cache.
+		return submit(e, context.WithoutCancel(ctx), func(context.Context) (*Cached, error) {
+			start := time.Now()
+			res, err := shortcut.Build(g, req.Parts, req.Options)
+			if err != nil {
+				e.counters.buildErrs.Add(1)
+				return nil, err
+			}
+			d := time.Since(start)
+			e.counters.builds.Add(1)
+			e.counters.buildNs.Add(d.Nanoseconds())
+			return &Cached{
+				Key:       key,
+				GraphFP:   req.Graph,
+				G:         g,
+				Parts:     req.Parts,
+				Result:    res,
+				BuildTime: d,
+			}, nil
+		})
+	})
+}
+
+// MSTRequest runs the Corollary 1.6 distributed MST on a registered graph.
+type MSTRequest struct {
+	Graph   Fingerprint
+	Options dist.MSTOptions
+}
+
+// MST executes the request on the worker pool.
+func (e *Engine) MST(ctx context.Context, req MSTRequest) (*dist.MSTResult, error) {
+	g, ok := e.Graph(req.Graph)
+	if !ok {
+		return nil, ErrUnknownGraph
+	}
+	return submit(e, ctx, func(context.Context) (*dist.MSTResult, error) {
+		return dist.MST(g, req.Options)
+	})
+}
+
+// MinCutRequest runs the Corollary 1.7 distributed minimum cut.
+type MinCutRequest struct {
+	Graph   Fingerprint
+	Options dist.MinCutOptions
+}
+
+// MinCut executes the request on the worker pool.
+func (e *Engine) MinCut(ctx context.Context, req MinCutRequest) (*dist.MinCutResult, error) {
+	g, ok := e.Graph(req.Graph)
+	if !ok {
+		return nil, ErrUnknownGraph
+	}
+	return submit(e, ctx, func(context.Context) (*dist.MinCutResult, error) {
+		return dist.MinCut(g, req.Options)
+	})
+}
+
+// AggregateRequest runs one part-wise aggregation round over a cached
+// shortcut's installed routing.
+type AggregateRequest struct {
+	// Shortcut is a key previously returned by Build.
+	Shortcut Fingerprint
+	Op       dist.Op
+	// Values holds one payload per node; nil aggregates the constant 1
+	// per part member (so OpSum counts part sizes).
+	Values []dist.Payload
+	// Seed drives the randomized contention schedule.
+	Seed int64
+}
+
+// Aggregate executes the request on the worker pool against the cached
+// shortcut — the amortization the cache exists for: one build, many rounds.
+func (e *Engine) Aggregate(ctx context.Context, req AggregateRequest) (*dist.PAResult, error) {
+	c, ok := e.Shortcut(req.Shortcut)
+	if !ok {
+		return nil, ErrUnknownShortcut
+	}
+	return submit(e, ctx, func(context.Context) (*dist.PAResult, error) {
+		r, err := c.Routing()
+		if err != nil {
+			return nil, err
+		}
+		values := req.Values
+		if values == nil {
+			// Constant 1 per node: only part members are read by the
+			// schedule, so OpSum yields part sizes.
+			values = make([]dist.Payload, c.G.NumNodes())
+			for v := range values {
+				values[v] = dist.Payload{1, 1, 1}
+			}
+		}
+		if len(values) != c.G.NumNodes() {
+			return nil, fmt.Errorf("service: %d values for %d nodes", len(values), c.G.NumNodes())
+		}
+		maxRounds := 64*c.G.NumNodes() + 4096
+		return dist.PartwiseAggregate(c.G, r, req.Op, values, req.Seed, true, maxRounds)
+	})
+}
+
+// Measure returns the memoized quality of a cached shortcut, computing it
+// on the worker pool on first request.
+func (e *Engine) Measure(ctx context.Context, key Fingerprint) (shortcut.Quality, error) {
+	c, ok := e.Shortcut(key)
+	if !ok {
+		return shortcut.Quality{}, ErrUnknownShortcut
+	}
+	return submit(e, ctx, func(context.Context) (shortcut.Quality, error) {
+		return c.Quality(), nil
+	})
+}

@@ -1,0 +1,106 @@
+package service
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"strconv"
+
+	"locshort/internal/graph"
+	"locshort/internal/partition"
+	"locshort/internal/shortcut"
+)
+
+// Fingerprint is a stable 64-bit content address: FNV-1a over a canonical
+// byte encoding of the addressed object. Graphs, partitions, and build
+// options each contribute a canonical encoding; a shortcut's fingerprint
+// covers all three, so it identifies the inputs that determine the built
+// shortcut.
+//
+// 64 bits of a non-cryptographic hash make accidental collisions
+// negligible at realistic catalog sizes (birthday bound ~2^32) but offer
+// no adversarial collision resistance: a client that can forge a
+// colliding graph gets answers computed on the first-registered
+// representative. Deployments serving untrusted tenants should isolate
+// them per engine.
+type Fingerprint uint64
+
+// String renders the fingerprint as 16 lowercase hex digits, the wire form
+// used by the locshortd API.
+func (f Fingerprint) String() string { return fmt.Sprintf("%016x", uint64(f)) }
+
+// ParseFingerprint parses the 16-hex-digit wire form.
+func ParseFingerprint(s string) (Fingerprint, error) {
+	if len(s) != 16 {
+		return 0, fmt.Errorf("service: fingerprint %q: want 16 hex digits", s)
+	}
+	v, err := strconv.ParseUint(s, 16, 64)
+	if err != nil {
+		return 0, fmt.Errorf("service: fingerprint %q: %w", s, err)
+	}
+	return Fingerprint(v), nil
+}
+
+func hashBytes(b []byte) Fingerprint {
+	h := fnv.New64a()
+	h.Write(b)
+	return Fingerprint(h.Sum64())
+}
+
+// FingerprintGraph fingerprints a graph over its canonical encoding
+// (graph.AppendCanonical): node count plus the sorted multiset of
+// normalized weighted edges.
+func FingerprintGraph(g *graph.Graph) Fingerprint {
+	return hashBytes(g.AppendCanonical(nil))
+}
+
+// appendPartitionCanonical encodes a partition as the per-node part
+// assignment with part labels canonicalized by first appearance over nodes
+// 0..n-1, so the encoding is invariant under part reordering and node-order
+// permutations within a part.
+func appendPartitionCanonical(b []byte, p *partition.Partition) []byte {
+	relabel := make(map[int]uint64, p.NumParts())
+	b = binary.BigEndian.AppendUint64(b, uint64(len(p.PartOf)))
+	b = binary.BigEndian.AppendUint64(b, uint64(p.NumParts()))
+	for _, part := range p.PartOf {
+		if part < 0 {
+			b = binary.BigEndian.AppendUint64(b, ^uint64(0))
+			continue
+		}
+		l, ok := relabel[part]
+		if !ok {
+			l = uint64(len(relabel))
+			relabel[part] = l
+		}
+		b = binary.BigEndian.AppendUint64(b, l)
+	}
+	return b
+}
+
+// FingerprintPartition fingerprints a partition's canonical part
+// assignment.
+func FingerprintPartition(p *partition.Partition) Fingerprint {
+	return hashBytes(appendPartitionCanonical(nil, p))
+}
+
+// appendOptionsCanonical encodes the shortcut.Options fields that determine
+// the built shortcut: Delta, MaxDelta, CongestionFactor, BlockFactor, and
+// MaxIterations. The service never builds with Certify or a caller-supplied
+// Tree, so those fields do not participate in content addressing.
+func appendOptionsCanonical(b []byte, o shortcut.Options) []byte {
+	for _, v := range [...]int{o.Delta, o.MaxDelta, o.CongestionFactor, o.BlockFactor, o.MaxIterations} {
+		b = binary.BigEndian.AppendUint64(b, uint64(int64(v)))
+	}
+	return b
+}
+
+// ShortcutKey is the content address of a built shortcut: a hash over the
+// graph fingerprint, the canonical partition assignment, and the canonical
+// build options. Up to hash collisions (see Fingerprint), two requests
+// share a key exactly when Build would produce the same shortcut for both.
+func ShortcutKey(g Fingerprint, p *partition.Partition, o shortcut.Options) Fingerprint {
+	b := binary.BigEndian.AppendUint64(nil, uint64(g))
+	b = appendPartitionCanonical(b, p)
+	b = appendOptionsCanonical(b, o)
+	return hashBytes(b)
+}

@@ -1,0 +1,430 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"math"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"locshort/internal/dist"
+	"locshort/internal/graph"
+	"locshort/internal/partition"
+	"locshort/internal/shortcut"
+)
+
+func testGraph(t *testing.T) (*graph.Graph, *partition.Partition) {
+	t.Helper()
+	g := graph.Grid(8, 8)
+	p, err := partition.BFSBlobs(g, 8, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, p
+}
+
+func newTestEngine(t *testing.T, cfg Config) *Engine {
+	t.Helper()
+	e := New(cfg)
+	t.Cleanup(e.Close)
+	return e
+}
+
+func TestFingerprintGraphCanonical(t *testing.T) {
+	// Same structure, different edge insertion order and orientation.
+	a := graph.New(4)
+	a.AddEdge(0, 1)
+	a.AddEdge(1, 2)
+	a.AddEdge(2, 3)
+	b := graph.New(4)
+	b.AddEdge(3, 2)
+	b.AddEdge(1, 0)
+	b.AddEdge(2, 1)
+	if FingerprintGraph(a) != FingerprintGraph(b) {
+		t.Error("edge order/orientation changed the fingerprint")
+	}
+	// A weight change must change it.
+	c := graph.New(4)
+	c.AddEdge(0, 1)
+	c.AddWeightedEdge(1, 2, 2)
+	c.AddEdge(2, 3)
+	if FingerprintGraph(a) == FingerprintGraph(c) {
+		t.Error("weight change did not change the fingerprint")
+	}
+	// A node-count change must change it.
+	d := graph.New(5)
+	d.AddEdge(0, 1)
+	d.AddEdge(1, 2)
+	d.AddEdge(2, 3)
+	if FingerprintGraph(a) == FingerprintGraph(d) {
+		t.Error("node count change did not change the fingerprint")
+	}
+}
+
+func TestFingerprintPartitionCanonical(t *testing.T) {
+	g := graph.Path(6)
+	p1, err := partition.New(g, [][]int{{0, 1, 2}, {3, 4, 5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := partition.New(g, [][]int{{5, 4, 3}, {2, 1, 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if FingerprintPartition(p1) != FingerprintPartition(p2) {
+		t.Error("part order/node order changed the partition fingerprint")
+	}
+	p3, err := partition.New(g, [][]int{{0, 1}, {2, 3, 4, 5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if FingerprintPartition(p1) == FingerprintPartition(p3) {
+		t.Error("different assignment produced the same fingerprint")
+	}
+}
+
+func TestShortcutKeyCoversOptions(t *testing.T) {
+	g := graph.Grid(4, 4)
+	p, err := partition.BFSBlobs(g, 4, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp := FingerprintGraph(g)
+	base := ShortcutKey(fp, p, shortcut.Options{})
+	if ShortcutKey(fp, p, shortcut.Options{}) != base {
+		t.Error("shortcut key is not stable")
+	}
+	if ShortcutKey(fp, p, shortcut.Options{Delta: 4}) == base {
+		t.Error("options change did not change the shortcut key")
+	}
+}
+
+func TestFingerprintWireForm(t *testing.T) {
+	fp := Fingerprint(0x0123456789abcdef)
+	got, err := ParseFingerprint(fp.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != fp {
+		t.Errorf("round trip %v != %v", got, fp)
+	}
+	for _, bad := range []string{"", "123", "zzzzzzzzzzzzzzzz", "0123456789abcdef0"} {
+		if _, err := ParseFingerprint(bad); err == nil {
+			t.Errorf("ParseFingerprint(%q) succeeded, want error", bad)
+		}
+	}
+}
+
+// TestCacheSingleflight hammers one key from many goroutines and asserts
+// exactly one build ran.
+func TestCacheSingleflight(t *testing.T) {
+	var metrics counters
+	c := newCache(4, 8, &metrics)
+	var builds atomic.Int64
+	const waiters = 32
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for i := 0; i < waiters; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			v, _, err := c.getOrBuild(context.Background(), 42, func() (*Cached, error) {
+				builds.Add(1)
+				time.Sleep(20 * time.Millisecond)
+				return &Cached{Key: 42}, nil
+			})
+			if err != nil || v == nil || v.Key != 42 {
+				t.Errorf("getOrBuild = %v, %v", v, err)
+			}
+		}()
+	}
+	close(start)
+	wg.Wait()
+	if n := builds.Load(); n != 1 {
+		t.Errorf("builds = %d, want exactly 1", n)
+	}
+	if h, m := metrics.hits.Load(), metrics.misses.Load(); m != 1 || h != waiters-1 {
+		t.Errorf("hits/misses = %d/%d, want %d/1", h, m, waiters-1)
+	}
+}
+
+func TestCacheErrorNotCached(t *testing.T) {
+	var metrics counters
+	c := newCache(1, 4, &metrics)
+	boom := errors.New("boom")
+	calls := 0
+	for i := 0; i < 3; i++ {
+		_, _, err := c.getOrBuild(context.Background(), 7, func() (*Cached, error) {
+			calls++
+			return nil, boom
+		})
+		if !errors.Is(err, boom) {
+			t.Fatalf("err = %v, want boom", err)
+		}
+	}
+	if calls != 3 {
+		t.Errorf("failed build cached: %d calls, want 3", calls)
+	}
+	if c.len() != 0 {
+		t.Errorf("cache holds %d entries after failed builds", c.len())
+	}
+}
+
+// TestCacheEviction fills the cache far past capacity under concurrency
+// and checks the residency bound and eviction accounting.
+func TestCacheEviction(t *testing.T) {
+	var metrics counters
+	const shards, capacity = 2, 4
+	c := newCache(shards, capacity, &metrics)
+	const keys = 64
+	var wg sync.WaitGroup
+	for k := 0; k < keys; k++ {
+		wg.Add(1)
+		go func(k Fingerprint) {
+			defer wg.Done()
+			_, _, err := c.getOrBuild(context.Background(), k, func() (*Cached, error) {
+				return &Cached{Key: k}, nil
+			})
+			if err != nil {
+				t.Error(err)
+			}
+		}(Fingerprint(k))
+	}
+	wg.Wait()
+	if n := c.len(); n > capacity {
+		t.Errorf("resident entries = %d, want <= %d", n, capacity)
+	}
+	if ev := metrics.evictions.Load(); ev < keys-capacity {
+		t.Errorf("evictions = %d, want >= %d", ev, keys-capacity)
+	}
+	// LRU: the most recently inserted keys of each shard survive; an
+	// evicted key rebuilds.
+	rebuilt := false
+	c.getOrBuild(context.Background(), 0, func() (*Cached, error) {
+		rebuilt = true
+		return &Cached{}, nil
+	})
+	c.getOrBuild(context.Background(), 1, func() (*Cached, error) {
+		rebuilt = true
+		return &Cached{}, nil
+	})
+	if !rebuilt {
+		t.Error("no early key was evicted out of 64 inserts into capacity 4")
+	}
+}
+
+// TestCacheCancelMidBuild cancels a waiter while the build is in flight:
+// the waiter returns promptly with ctx.Err(), the build completes anyway,
+// and the next lookup is a hit.
+func TestCacheCancelMidBuild(t *testing.T) {
+	var metrics counters
+	c := newCache(1, 4, &metrics)
+	release := make(chan struct{})
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() {
+		_, _, err := c.getOrBuild(ctx, 9, func() (*Cached, error) {
+			<-release
+			return &Cached{Key: 9}, nil
+		})
+		errc <- err
+	}()
+	time.Sleep(10 * time.Millisecond) // let the build start
+	cancel()
+	select {
+	case err := <-errc:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want context.Canceled", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("canceled waiter did not return")
+	}
+	close(release)
+	v, _, err := c.getOrBuild(context.Background(), 9, func() (*Cached, error) {
+		t.Error("abandoned build did not populate the cache")
+		return nil, nil
+	})
+	if err != nil || v.Key != 9 {
+		t.Fatalf("post-cancel lookup = %v, %v", v, err)
+	}
+}
+
+// TestEngineSingleflight is the end-to-end variant: concurrent Build calls
+// for one (graph, partition, options) trigger exactly one construction.
+func TestEngineSingleflight(t *testing.T) {
+	e := newTestEngine(t, Config{Workers: 4})
+	g, p := testGraph(t)
+	fp, err := e.AddGraph(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const callers = 16
+	var wg sync.WaitGroup
+	keys := make([]Fingerprint, callers)
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c, _, err := e.Build(context.Background(), BuildRequest{Graph: fp, Parts: p})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			keys[i] = c.Key
+		}(i)
+	}
+	wg.Wait()
+	s := e.Stats()
+	if s.Builds != 1 {
+		t.Errorf("Builds = %d, want exactly 1", s.Builds)
+	}
+	for _, k := range keys[1:] {
+		if k != keys[0] {
+			t.Errorf("divergent shortcut keys: %v vs %v", k, keys[0])
+		}
+	}
+	if s.CacheHits != callers-1 || s.CacheMisses != 1 {
+		t.Errorf("hits/misses = %d/%d, want %d/1", s.CacheHits, s.CacheMisses, callers-1)
+	}
+}
+
+func TestEngineJobsAgainstReferences(t *testing.T) {
+	e := newTestEngine(t, Config{Workers: 2})
+	g, p := testGraph(t)
+	graph.RandomizeWeights(g, rand.New(rand.NewSource(3)))
+	fp, err := e.AddGraph(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+
+	c, _, err := e.Build(ctx, BuildRequest{Graph: fp, Parts: p})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := e.Measure(ctx, c.Key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.CoveredParts != p.NumParts() {
+		t.Errorf("covered %d of %d parts", q.CoveredParts, p.NumParts())
+	}
+
+	mst, err := e.MST(ctx, MSTRequest{Graph: fp})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, want := graph.Kruskal(g)
+	if math.Abs(mst.Weight-want) > 1e-9 {
+		t.Errorf("MST weight %v, want %v", mst.Weight, want)
+	}
+
+	// MinCut uses unit capacities; check it on an unweighted graph.
+	unit := graph.Grid(8, 8)
+	ufp, err := e.AddGraph(unit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mc, err := e.MinCut(ctx, MinCutRequest{Graph: ufp, Options: dist.MinCutOptions{Seed: 9}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := graph.StoerWagner(unit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if float64(mc.Value) != ref {
+		t.Errorf("MinCut = %d, want %v", mc.Value, ref)
+	}
+
+	agg, err := e.Aggregate(ctx, AggregateRequest{Shortcut: c.Key, Op: dist.OpSum})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, part := range p.Parts {
+		if got := agg.PartResult[i][0]; got != int64(len(part)) {
+			t.Errorf("part %d aggregate = %d, want size %d", i, got, len(part))
+		}
+	}
+}
+
+func TestEngineUnknownReferences(t *testing.T) {
+	e := newTestEngine(t, Config{Workers: 1})
+	_, p := testGraph(t)
+	ctx := context.Background()
+	if _, _, err := e.Build(ctx, BuildRequest{Graph: 1, Parts: p}); !errors.Is(err, ErrUnknownGraph) {
+		t.Errorf("Build unknown graph: %v", err)
+	}
+	if _, err := e.MST(ctx, MSTRequest{Graph: 1}); !errors.Is(err, ErrUnknownGraph) {
+		t.Errorf("MST unknown graph: %v", err)
+	}
+	if _, err := e.Aggregate(ctx, AggregateRequest{Shortcut: 1}); !errors.Is(err, ErrUnknownShortcut) {
+		t.Errorf("Aggregate unknown shortcut: %v", err)
+	}
+	if _, err := e.Measure(ctx, 1); !errors.Is(err, ErrUnknownShortcut) {
+		t.Errorf("Measure unknown shortcut: %v", err)
+	}
+}
+
+func TestEngineQueuedJobCancellation(t *testing.T) {
+	// One worker, occupied by a slow job: a second job canceled while
+	// queued must return ctx.Err() without running.
+	e := newTestEngine(t, Config{Workers: 1, QueueDepth: 8})
+	block := make(chan struct{})
+	go submit(e, context.Background(), func(context.Context) (int, error) {
+		<-block
+		return 0, nil
+	})
+	time.Sleep(10 * time.Millisecond) // let the slow job occupy the worker
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	ran := false
+	_, err := submit(e, ctx, func(context.Context) (int, error) {
+		ran = true
+		return 0, nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("err = %v, want context.Canceled", err)
+	}
+	close(block)
+	if ran {
+		t.Error("canceled queued job still ran")
+	}
+}
+
+func TestEngineCloseRejects(t *testing.T) {
+	e := New(Config{Workers: 1})
+	e.Close()
+	_, err := submit(e, context.Background(), func(context.Context) (int, error) { return 1, nil })
+	if !errors.Is(err, ErrClosed) {
+		t.Errorf("submit after Close = %v, want ErrClosed", err)
+	}
+}
+
+func TestEngineAddGraphDeduplicates(t *testing.T) {
+	e := newTestEngine(t, Config{Workers: 1})
+	a := graph.Grid(4, 4)
+	b := graph.Grid(4, 4)
+	fa, err := e.AddGraph(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fb, err := e.AddGraph(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fa != fb {
+		t.Errorf("same content, different fingerprints: %v vs %v", fa, fb)
+	}
+	got, ok := e.Graph(fa)
+	if !ok || got != a {
+		t.Error("representative graph is not the first registered instance")
+	}
+	if s := e.Stats(); s.Graphs != 1 {
+		t.Errorf("Graphs = %d, want 1", s.Graphs)
+	}
+}

@@ -1,0 +1,82 @@
+package service
+
+import "sync/atomic"
+
+// counters is the engine's hot-path instrumentation: every field is atomic
+// so job and cache paths never synchronize just to count.
+type counters struct {
+	hits      atomic.Uint64
+	misses    atomic.Uint64
+	builds    atomic.Uint64
+	buildErrs atomic.Uint64
+	evictions atomic.Uint64
+	buildNs   atomic.Int64
+
+	jobsDone     atomic.Uint64
+	jobsFailed   atomic.Uint64
+	jobsCanceled atomic.Uint64
+	jobNs        atomic.Int64
+	queueDepth   atomic.Int64
+	running      atomic.Int64
+}
+
+// Stats is an atomic snapshot of the engine's counters, safe to read while
+// the engine is serving traffic. Rates and averages are derived, not
+// stored, so the snapshot is internally consistent enough for monitoring
+// (individual counters are read independently, not under one lock).
+type Stats struct {
+	// Cache counters. Hits counts completed-entry lookups and singleflight
+	// joins; Misses counts lookups that started a build.
+	CacheHits      uint64 `json:"cache_hits"`
+	CacheMisses    uint64 `json:"cache_misses"`
+	CacheEvictions uint64 `json:"cache_evictions"`
+	CachedEntries  int    `json:"cached_entries"`
+
+	// Build counters: completed shortcut constructions and their total
+	// latency (singleflight means Builds can be far below CacheMisses+Hits).
+	Builds        uint64 `json:"builds"`
+	BuildErrors   uint64 `json:"build_errors"`
+	BuildTotalNs  int64  `json:"build_total_ns"`
+	AvgBuildNanos int64  `json:"avg_build_ns"`
+
+	// Job counters for the worker pool.
+	JobsDone     uint64 `json:"jobs_done"`
+	JobsFailed   uint64 `json:"jobs_failed"`
+	JobsCanceled uint64 `json:"jobs_canceled"`
+	JobTotalNs   int64  `json:"job_total_ns"`
+	QueueDepth   int64  `json:"queue_depth"`
+	RunningJobs  int64  `json:"running_jobs"`
+
+	// Graphs is the number of distinct graphs registered.
+	Graphs int `json:"graphs"`
+}
+
+// HitRate returns hits / (hits + misses), or 0 before any lookup.
+func (s Stats) HitRate() float64 {
+	total := s.CacheHits + s.CacheMisses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.CacheHits) / float64(total)
+}
+
+func (c *counters) snapshot() Stats {
+	s := Stats{
+		CacheHits:      c.hits.Load(),
+		CacheMisses:    c.misses.Load(),
+		CacheEvictions: c.evictions.Load(),
+		Builds:         c.builds.Load(),
+		BuildErrors:    c.buildErrs.Load(),
+		BuildTotalNs:   c.buildNs.Load(),
+		JobsDone:       c.jobsDone.Load(),
+		JobsFailed:     c.jobsFailed.Load(),
+		JobsCanceled:   c.jobsCanceled.Load(),
+		JobTotalNs:     c.jobNs.Load(),
+		QueueDepth:     c.queueDepth.Load(),
+		RunningJobs:    c.running.Load(),
+	}
+	if s.Builds > 0 {
+		s.AvgBuildNanos = s.BuildTotalNs / int64(s.Builds)
+	}
+	return s
+}

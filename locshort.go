@@ -30,9 +30,14 @@
 //   - Construct: the Theorem 1.5 distributed construction on the CONGEST
 //     simulator, returning routing state for PartwiseAggregate.
 //   - MST, MinCut: Corollaries 1.6 and 1.7.
+//   - ServiceEngine: the concurrent serving layer — a content-addressed
+//     shortcut cache with singleflight builds and a bounded worker pool,
+//     the in-process core of the cmd/locshortd daemon.
 //
-// See DESIGN.md for the architecture and EXPERIMENTS.md for the measured
-// reproduction of every theorem, lemma, and corollary.
+// See DESIGN.md for the architecture (including the "Service layer"
+// section on fingerprinting, caching, and the job lifecycle) and
+// EXPERIMENTS.md for the measured reproduction of every theorem, lemma,
+// and corollary.
 package locshort
 
 import (
@@ -41,6 +46,7 @@ import (
 	"locshort/internal/graph"
 	"locshort/internal/minor"
 	"locshort/internal/partition"
+	"locshort/internal/service"
 	"locshort/internal/shortcut"
 	"locshort/internal/tree"
 )
@@ -211,4 +217,42 @@ const (
 	ProviderCentral         = dist.ProviderCentral
 	ProviderCentralAdaptive = dist.ProviderCentralAdaptive
 	ProviderTrivial         = dist.ProviderTrivial
+)
+
+// Serving layer: the concurrent shortcut-serving engine with its
+// content-addressed cache (see internal/service and cmd/locshortd).
+type (
+	// ServiceEngine caches and concurrently serves shortcut constructions.
+	ServiceEngine = service.Engine
+	// ServiceConfig tunes the engine's worker pool and cache.
+	ServiceConfig = service.Config
+	// ServiceStats is an atomic snapshot of the engine counters.
+	ServiceStats = service.Stats
+	// Fingerprint is a stable 64-bit content address for graphs,
+	// partitions, and built shortcuts.
+	Fingerprint = service.Fingerprint
+	// CachedShortcut is a resident built shortcut with memoized quality
+	// and aggregation routing.
+	CachedShortcut = service.Cached
+	// Service request types for the engine's job methods.
+	ServiceBuildRequest     = service.BuildRequest
+	ServiceMSTRequest       = service.MSTRequest
+	ServiceMinCutRequest    = service.MinCutRequest
+	ServiceAggregateRequest = service.AggregateRequest
+)
+
+// Serving-layer entry points re-exported from internal/service.
+var (
+	NewServiceEngine     = service.New
+	FingerprintGraph     = service.FingerprintGraph
+	FingerprintPartition = service.FingerprintPartition
+	ShortcutKey          = service.ShortcutKey
+	ParseFingerprint     = service.ParseFingerprint
+)
+
+// Serving-layer sentinel errors.
+var (
+	ErrServiceClosed   = service.ErrClosed
+	ErrUnknownGraph    = service.ErrUnknownGraph
+	ErrUnknownShortcut = service.ErrUnknownShortcut
 )
