@@ -52,6 +52,126 @@ func BenchmarkA2_SchedulingAblation(b *testing.B)    { benchExperiment(b, "A2") 
 func BenchmarkA3_DetectionAblation(b *testing.B)     { benchExperiment(b, "A3") }
 func BenchmarkA4_RootChoiceAblation(b *testing.B)    { benchExperiment(b, "A4") }
 
+// Core-operation benchmarks across the perf families tracked in the
+// BENCH_*.json reports. grid:64x64 is the acceptance family for the flat
+// Builder's allocation budget: run with
+//
+//	go test -bench BenchmarkBuild -benchmem
+//
+// and compare allocs/op against the committed baseline report.
+
+// perfFamily builds one of the large benchmark workloads, matching
+// internal/bench.perfFamilies (same specs, same seed).
+func perfFamily(b *testing.B, spec string) (*locshort.Graph, *locshort.Partition) {
+	b.Helper()
+	rng := rand.New(rand.NewSource(1))
+	var g *locshort.Graph
+	var k int
+	switch spec {
+	case "grid:64x64":
+		g, k = locshort.Grid(64, 64), 64
+	case "torus:32x32":
+		g, k = locshort.Torus(32, 32), 32
+	case "ktree:600,4":
+		g, k = locshort.KTree(600, 4, rng), 50
+	default:
+		b.Fatalf("unknown perf family %q", spec)
+	}
+	p, err := locshort.BFSBlobs(g, k, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return g, p
+}
+
+var perfFamilySpecs = []string{"grid:64x64", "torus:32x32", "ktree:600,4"}
+
+// BenchmarkBuild measures the full Theorem 3.1 construction (doubling
+// search included) on a reused Builder — the service layer's cold-build
+// configuration.
+func BenchmarkBuild(b *testing.B) {
+	for _, spec := range perfFamilySpecs {
+		b.Run(spec, func(b *testing.B) {
+			g, p := perfFamily(b, spec)
+			bld := locshort.NewShortcutBuilder()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := bld.Build(g, p, locshort.BuildOptions{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkBuildReference measures the preserved map-based construction
+// path on the same workloads, so the Builder's gain is visible in one
+// bench run (the committed BENCH_*.json baselines track it across PRs).
+func BenchmarkBuildReference(b *testing.B) {
+	for _, spec := range perfFamilySpecs {
+		b.Run(spec, func(b *testing.B) {
+			g, p := perfFamily(b, spec)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := locshort.BuildSequentialReference(g, p, locshort.BuildOptions{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkMeasure measures shortcut quality measurement (congestion,
+// dilation, blocks) on a prebuilt shortcut.
+func BenchmarkMeasure(b *testing.B) {
+	for _, spec := range perfFamilySpecs {
+		b.Run(spec, func(b *testing.B) {
+			g, p := perfFamily(b, spec)
+			res, err := locshort.Build(g, p, locshort.BuildOptions{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				locshort.Measure(res.Shortcut)
+			}
+		})
+	}
+}
+
+// BenchmarkAggregate measures one part-wise aggregation round over
+// installed routing — the operation the shortcut amortizes.
+func BenchmarkAggregate(b *testing.B) {
+	for _, spec := range perfFamilySpecs {
+		b.Run(spec, func(b *testing.B) {
+			g, p := perfFamily(b, spec)
+			res, err := locshort.Build(g, p, locshort.BuildOptions{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			routing, err := locshort.NewPARouting(res.Shortcut)
+			if err != nil {
+				b.Fatal(err)
+			}
+			values := make([]locshort.Payload, g.NumNodes())
+			for v := range values {
+				values[v] = locshort.Payload{1, 1, 1}
+			}
+			maxRounds := 64*g.NumNodes() + 4096
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := locshort.PartwiseAggregate(g, routing, locshort.OpSum, values, int64(i), true, maxRounds); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // Micro-benchmarks of the core operations.
 
 func BenchmarkCoreBuildShortcutGrid(b *testing.B) {

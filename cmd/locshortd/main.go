@@ -4,7 +4,7 @@
 // Usage:
 //
 //	locshortd [-addr 127.0.0.1:8080] [-workers N] [-cache N] [-queue N]
-//	          [-addrfile PATH]
+//	          [-addrfile PATH] [-pprof ADDR]
 //
 // Endpoints:
 //
@@ -18,6 +18,14 @@
 // with -addrfile, written to PATH so scripts (CI, cmd/loadgen) can find
 // the daemon without racing for a port. SIGINT/SIGTERM drain in-flight
 // requests before exit.
+//
+// -pprof ADDR serves net/http/pprof on a second listener (e.g.
+// -pprof 127.0.0.1:6060), kept off the API listener so profiling is never
+// exposed where the API is. Capture cold-build CPU and allocation
+// profiles against the live daemon with
+//
+//	go tool pprof http://ADDR/debug/pprof/profile?seconds=10
+//	go tool pprof http://ADDR/debug/pprof/allocs
 package main
 
 import (
@@ -28,6 +36,7 @@ import (
 	"log"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -49,6 +58,7 @@ func run() error {
 		cacheCap = flag.Int("cache", 0, "resident shortcut capacity (default 64)")
 		queue    = flag.Int("queue", 0, "job queue depth (default 256)")
 		addrfile = flag.String("addrfile", "", "write the bound address to this file")
+		pprofA   = flag.String("pprof", "", "serve net/http/pprof on this address (empty: disabled)")
 	)
 	flag.Parse()
 
@@ -69,6 +79,26 @@ func run() error {
 		if err := os.WriteFile(*addrfile, []byte(bound), 0o644); err != nil {
 			return err
 		}
+	}
+
+	if *pprofA != "" {
+		pln, err := net.Listen("tcp", *pprofA)
+		if err != nil {
+			return fmt.Errorf("pprof listener: %w", err)
+		}
+		mux := http.NewServeMux()
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		fmt.Printf("locshortd pprof on http://%s/debug/pprof/\n", pln.Addr())
+		go func() {
+			psrv := &http.Server{Handler: mux, ReadHeaderTimeout: 10 * time.Second}
+			if err := psrv.Serve(pln); !errors.Is(err, http.ErrServerClosed) {
+				log.Println("locshortd: pprof server:", err)
+			}
+		}()
 	}
 
 	srv := &http.Server{

@@ -241,8 +241,9 @@ func (s *server) handleShortcuts(w http.ResponseWriter, r *http.Request) {
 	}
 	// Quality via the engine so first-touch measurement runs on the
 	// bounded worker pool, not the serving goroutine; memoized, so hits
-	// pay only a cache lookup.
-	q, err := s.eng.Measure(r.Context(), c.Key)
+	// pay only a cache lookup. Measured on the held entry: re-resolving
+	// c.Key here would race eviction under capacity pressure.
+	q, err := s.eng.MeasureCached(r.Context(), c)
 	if err != nil {
 		httpError(w, statusFor(err), err)
 		return

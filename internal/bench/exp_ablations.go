@@ -194,6 +194,9 @@ func runA4(cfg Config) (*Table, error) {
 	if cfg.Quick {
 		insts = []inst{{name: "grid 10x10", g: graph.Grid(10, 10), k: 10}}
 	}
+	// Each candidate root's tree and shortcut are measured then discarded,
+	// so one reused tree serves the whole sweep.
+	var tr *tree.Rooted
 	for _, in := range insts {
 		p, err := partition.BFSBlobs(in.g, in.k, newRand(cfg.Seed+51))
 		if err != nil {
@@ -206,7 +209,7 @@ func runA4(cfg Config) (*Table, error) {
 			{name: "center", node: shortcut.ChooseRoot(in.g)},
 			{name: "node 0", node: 0},
 		} {
-			tr, err := tree.FromBFS(in.g, root.node)
+			tr, err = tree.FromBFSInto(tr, in.g, root.node)
 			if err != nil {
 				return nil, err
 			}

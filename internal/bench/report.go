@@ -2,9 +2,14 @@ package bench
 
 import (
 	"encoding/json"
+	"fmt"
+	"math/rand"
 	"os"
+	"runtime"
 	"time"
 
+	"locshort/internal/graph"
+	"locshort/internal/partition"
 	"locshort/internal/shortcut"
 )
 
@@ -21,6 +26,11 @@ type BenchRecord struct {
 	Congestion   int    `json:"congestion"`
 	Dilation     int    `json:"dilation"`
 	BuildNsPerOp int64  `json:"build_ns_per_op"`
+	// BuildAllocsPerOp and BuildBytesPerOp are heap-allocation costs of one
+	// construction, measured from runtime.MemStats deltas over the timing
+	// iterations; they track the Builder's allocation discipline across PRs.
+	BuildAllocsPerOp int64 `json:"build_allocs_per_op"`
+	BuildBytesPerOp  int64 `json:"build_bytes_per_op"`
 }
 
 // Report is the BENCH_<timestamp>.json payload.
@@ -35,13 +45,61 @@ type Report struct {
 // fastest run, damping scheduler noise without burning CI minutes.
 const buildTimingIters = 3
 
+// perfFamilies builds the large construction-benchmark workloads tracked in
+// the JSON report alongside the standard experiment families. They match
+// the BenchmarkBuild sub-benchmarks (grid:64x64 is the acceptance family
+// for the Builder's allocation budget), so `go test -bench BenchmarkBuild
+// -benchmem` and `shortcutbench -json` measure the same instances.
+func perfFamilies(cfg Config) ([]family, error) {
+	gridSide, torusSide, ktreeN := 64, 32, 600
+	if cfg.Quick {
+		gridSide, torusSide, ktreeN = 16, 12, 120
+	}
+	var fams []family
+
+	// Each family gets a fresh seed-derived rng, exactly like the
+	// BenchmarkBuild sub-benchmarks (which hard-code seed 1), so at the
+	// default -seed 1 the instances really are the same regardless of
+	// which families run or in what order.
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	grid := graph.Grid(gridSide, gridSide)
+	gp, err := partition.BFSBlobs(grid, gridSide, rng)
+	if err != nil {
+		return nil, err
+	}
+	fams = append(fams, family{name: fmt.Sprintf("grid:%dx%d", gridSide, gridSide), g: grid, p: gp, deltaBound: 3})
+
+	rng = rand.New(rand.NewSource(cfg.Seed))
+	torus := graph.Torus(torusSide, torusSide)
+	tp, err := partition.BFSBlobs(torus, torusSide, rng)
+	if err != nil {
+		return nil, err
+	}
+	fams = append(fams, family{name: fmt.Sprintf("torus:%dx%d", torusSide, torusSide), g: torus, p: tp, deltaBound: 5})
+
+	rng = rand.New(rand.NewSource(cfg.Seed))
+	kt := graph.KTree(ktreeN, 4, rng)
+	kp, err := partition.BFSBlobs(kt, ktreeN/12, rng)
+	if err != nil {
+		return nil, err
+	}
+	fams = append(fams, family{name: fmt.Sprintf("ktree:%d,4", ktreeN), g: kt, p: kp, deltaBound: 4})
+	return fams, nil
+}
+
 // JSONReport times the Theorem 3.1 construction over the standard
-// benchmark families and packages quality plus build cost as a Report.
+// benchmark families plus the large perf families and packages quality,
+// build cost, and allocation cost as a Report.
 func JSONReport(cfg Config, now time.Time) (*Report, error) {
 	fams, err := standardFamilies(cfg)
 	if err != nil {
 		return nil, err
 	}
+	perf, err := perfFamilies(cfg)
+	if err != nil {
+		return nil, err
+	}
+	fams = append(fams, perf...)
 	rep := &Report{
 		Timestamp: now.UTC().Format("20060102T150405Z"),
 		Quick:     cfg.Quick,
@@ -50,9 +108,16 @@ func JSONReport(cfg Config, now time.Time) (*Report, error) {
 	for _, f := range fams {
 		var res *shortcut.Result
 		best := int64(-1)
+		var before, after runtime.MemStats
+		runtime.ReadMemStats(&before)
 		for i := 0; i < buildTimingIters; i++ {
 			start := time.Now()
-			r, err := shortcut.Build(f.g, f.p, shortcut.Options{})
+			// Sequential on purpose: the speculative search's abandoned
+			// levels would make the allocation numbers depend on core
+			// count and scheduling, and the accepted shortcut is
+			// identical either way. The parallel path's gain is tracked
+			// by BenchmarkBuild instead.
+			r, err := shortcut.Build(f.g, f.p, shortcut.Options{Parallelism: 1})
 			ns := time.Since(start).Nanoseconds()
 			if err != nil {
 				return nil, err
@@ -61,16 +126,19 @@ func JSONReport(cfg Config, now time.Time) (*Report, error) {
 				best, res = ns, r
 			}
 		}
+		runtime.ReadMemStats(&after)
 		q := shortcut.Measure(res.Shortcut)
 		rep.Records = append(rep.Records, BenchRecord{
-			Family:       f.name,
-			Nodes:        f.g.NumNodes(),
-			EdgeCount:    f.g.NumEdges(),
-			Parts:        f.p.NumParts(),
-			Delta:        res.Delta,
-			Congestion:   q.Congestion,
-			Dilation:     q.Dilation,
-			BuildNsPerOp: best,
+			Family:           f.name,
+			Nodes:            f.g.NumNodes(),
+			EdgeCount:        f.g.NumEdges(),
+			Parts:            f.p.NumParts(),
+			Delta:            res.Delta,
+			Congestion:       q.Congestion,
+			Dilation:         q.Dilation,
+			BuildNsPerOp:     best,
+			BuildAllocsPerOp: int64(after.Mallocs-before.Mallocs) / buildTimingIters,
+			BuildBytesPerOp:  int64(after.TotalAlloc-before.TotalAlloc) / buildTimingIters,
 		})
 	}
 	return rep, nil

@@ -111,13 +111,18 @@ func Construct(g *graph.Graph, p *partition.Partition, opts ConstructOptions) (*
 	if !fixed {
 		start = 1
 	}
+	// One wave scratch serves every cut wave of the doubling search: the
+	// per-node protocol state, the min-hash table, and the cut indicator
+	// are sized once and recycled across iterations and delta' levels —
+	// the distributed mirror of the centralized Builder's flat scratch.
+	ws := &waveScratch{}
 	for delta := start; ; delta *= 2 {
 		if !fixed && delta > maxDelta {
 			return nil, fmt.Errorf("dist: doubling search exhausted at delta' = %d (max %d)", delta, maxDelta)
 		}
 		c := cf * delta * depth
 		b := bf * delta
-		s, iters, ok, err := runLevelDist(g, bfs.Tree, p, c, b, maxIter, delta, opts, res)
+		s, iters, ok, err := runLevelDist(g, bfs.Tree, p, c, b, maxIter, delta, opts, res, ws)
 		if err != nil {
 			return nil, err
 		}
@@ -149,7 +154,7 @@ func Construct(g *graph.Graph, p *partition.Partition, opts ConstructOptions) (*
 // the same shortcut.AssembleFromCuts helper the centralized builder uses,
 // and charged at the Lemma 2.8 verification budget.
 func runLevelDist(g *graph.Graph, t *tree.Rooted, p *partition.Partition, c, b, maxIter, delta int,
-	opts ConstructOptions, res *ConstructResult) (*shortcut.Shortcut, int, bool, error) {
+	opts ConstructOptions, res *ConstructResult, ws *waveScratch) (*shortcut.Shortcut, int, bool, error) {
 	k := p.NumParts()
 	depth := t.MaxDepth()
 	if depth < 1 {
@@ -169,7 +174,7 @@ func runLevelDist(g *graph.Graph, t *tree.Rooted, p *partition.Partition, c, b, 
 	remaining := k
 	for iter := 1; iter <= maxIter; iter++ {
 		waveSeed := opts.Seed ^ int64(delta)<<20 ^ int64(iter)<<8
-		cutAbove, wave, err := cutWave(g, t, p, c, active, opts, waveSeed)
+		cutAbove, wave, err := cutWave(g, t, p, c, active, opts, waveSeed, ws)
 		if err != nil {
 			return nil, 0, false, err
 		}
@@ -216,6 +221,32 @@ type waveOutcome struct {
 	messages int64
 }
 
+// waveScratch recycles the per-node protocol state across cut waves: the
+// waveProc slab (each keeping its grown items slice), the Proc interface
+// table, the shared min-hash values, and the cut indicator. One instance
+// serves a whole doubling search sequentially.
+type waveScratch struct {
+	slab     []waveProc
+	procs    []congest.Proc
+	hash     []int64
+	cutAbove []bool
+}
+
+func (ws *waveScratch) prepare(n, parts int) {
+	if cap(ws.slab) < n {
+		ws.slab = make([]waveProc, n)
+		ws.procs = make([]congest.Proc, n)
+		ws.cutAbove = make([]bool, n)
+	}
+	ws.slab = ws.slab[:n]
+	ws.procs = ws.procs[:n]
+	ws.cutAbove = ws.cutAbove[:n]
+	if cap(ws.hash) < parts {
+		ws.hash = make([]int64, parts)
+	}
+	ws.hash = ws.hash[:parts]
+}
+
 // cutWave runs one simulated bottom-up overcongested-edge wave and returns
 // cutAbove (node v's parent edge was cut). Semantics match the bottom-up
 // sweep of shortcut.BuildPartial: every node accumulates the set of active
@@ -229,33 +260,25 @@ type waveOutcome struct {
 // estimate the distinct count from the s-th smallest — shorter waves,
 // approximate counts (the [HIZ16a] trade-off of ablation A3).
 func cutWave(g *graph.Graph, t *tree.Rooted, p *partition.Partition, c int, active []bool,
-	opts ConstructOptions, seed int64) ([]bool, waveOutcome, error) {
+	opts ConstructOptions, seed int64, ws *waveScratch) ([]bool, waveOutcome, error) {
 	n := g.NumNodes()
 	children := t.Children()
 	sampleSize := 2*ceilLog2(n) + 4
+	ws.prepare(n, p.NumParts())
 
 	// Shared randomness: every node knows the wave's part-hash function.
-	var hash []int64
+	hash := ws.hash
 	if opts.Variant == Randomized {
 		rng := rand.New(rand.NewSource(seed))
-		hash = make([]int64, p.NumParts())
 		for i := range hash {
 			hash[i] = 1 + rng.Int63n(hashRange-1)
 		}
 	}
 
-	procs := make([]congest.Proc, n)
-	nodes := make([]*waveProc, n)
+	procs := ws.procs
 	for v := 0; v < n; v++ {
-		w := &waveProc{
-			variant:    opts.Variant,
-			threshold:  c,
-			sampleSize: sampleSize,
-			parent:     t.Parent[v],
-			parentEdge: t.ParentEdge[v],
-			waiting:    len(children[v]),
-			partKey:    -1,
-		}
+		w := &ws.slab[v]
+		w.reset(opts.Variant, c, sampleSize, t.Parent[v], t.ParentEdge[v], len(children[v]))
 		if pi := p.PartOf[v]; pi >= 0 && active[pi] {
 			if opts.Variant == Randomized {
 				w.partKey = hash[pi]
@@ -263,7 +286,6 @@ func cutWave(g *graph.Graph, t *tree.Rooted, p *partition.Partition, c int, acti
 				w.partKey = int64(pi)
 			}
 		}
-		nodes[v] = w
 		procs[v] = w
 	}
 	net, err := congest.NewNetwork(g, procs)
@@ -285,9 +307,9 @@ func cutWave(g *graph.Graph, t *tree.Rooted, p *partition.Partition, c int, acti
 	if err != nil {
 		return nil, waveOutcome{}, fmt.Errorf("dist: cut wave: %w", err)
 	}
-	cutAbove := make([]bool, n)
+	cutAbove := ws.cutAbove
 	for v := 0; v < n; v++ {
-		cutAbove[v] = nodes[v].cut
+		cutAbove[v] = ws.slab[v].cut
 	}
 	return cutAbove, waveOutcome{
 		rounds:   Rounds{Measured: stats.Rounds},
@@ -314,6 +336,24 @@ type waveProc struct {
 	cut     bool
 	sendIdx int
 	closing bool // streaming finished or cut sent; halt next chance
+}
+
+// reset reinitializes the proc for a new wave, keeping the grown items
+// backing array.
+func (w *waveProc) reset(variant Variant, threshold, sampleSize, parent, parentEdge, waiting int) {
+	w.variant = variant
+	w.threshold = threshold
+	w.sampleSize = sampleSize
+	w.parent = parent
+	w.parentEdge = parentEdge
+	w.waiting = waiting
+	w.partKey = -1
+	w.started = false
+	w.items = w.items[:0]
+	w.full = false
+	w.cut = false
+	w.sendIdx = 0
+	w.closing = false
 }
 
 func (w *waveProc) Step(ctx *congest.Context) {

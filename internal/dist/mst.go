@@ -108,14 +108,18 @@ func runBoruvka(g *graph.Graph, restrict []bool, weighted bool, opts MSTOptions)
 	}
 
 	converged := false
+	// One partition and label slice serve every phase: each phase's
+	// shortcut, routing, and aggregation results are discarded before the
+	// next rebuild, which is exactly the ownership FromLabelsInto needs.
+	var phaseParts partition.Partition
+	label := make([]int, n)
 	for phase := 1; phase <= maxPhases; phase++ {
 		// Fragment labels; every fragment is connected in G because it
 		// grew along chosen G-edges.
-		label := make([]int, n)
 		for v := 0; v < n; v++ {
 			label[v] = dsu.Find(v)
 		}
-		p, err := partition.FromLabels(g, label)
+		p, err := partition.FromLabelsInto(&phaseParts, g, label)
 		if err != nil {
 			return nil, fmt.Errorf("dist: phase %d partition: %w", phase, err)
 		}

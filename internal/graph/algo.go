@@ -17,45 +17,78 @@ func BFS(g *Graph, src int) *BFSResult { return MultiBFS(g, []int{src}) }
 
 // MultiBFS runs a breadth-first search from a set of sources simultaneously.
 func MultiBFS(g *Graph, sources []int) *BFSResult {
+	return MultiBFSInto(new(BFSResult), g, sources)
+}
+
+// MultiBFSInto runs MultiBFS reusing r's slices, growing them as needed,
+// and returns r. The traversal iterates the graph's packed CSR view, and
+// the visit order (hence the BFS tree) is identical to Neighbors-order
+// traversal. Callers that run many searches — eccentricity sweeps, root
+// selection, diameter computation — reuse one BFSResult to stay off the
+// allocator; the previous search's slices are overwritten, so the result
+// must not still be referenced elsewhere.
+func MultiBFSInto(r *BFSResult, g *Graph, sources []int) *BFSResult {
 	n := g.NumNodes()
-	r := &BFSResult{
-		Dist:       make([]int, n),
-		Parent:     make([]int, n),
-		ParentEdge: make([]int, n),
-		Order:      make([]int, 0, n),
+	r.Dist = ResizeInts(r.Dist, n)
+	r.Parent = ResizeInts(r.Parent, n)
+	r.ParentEdge = ResizeInts(r.ParentEdge, n)
+	if cap(r.Order) < n {
+		r.Order = make([]int, 0, n)
 	}
+	// The Order slice doubles as the BFS queue: nodes are appended when
+	// discovered and scanned in append order, which is exactly the
+	// nondecreasing-distance order the field promises.
+	queue := r.Order[:0]
 	for v := 0; v < n; v++ {
 		r.Dist[v] = -1
 		r.Parent[v] = -1
 		r.ParentEdge[v] = -1
 	}
-	queue := make([]int, 0, n)
 	for _, s := range sources {
 		if r.Dist[s] == -1 {
 			r.Dist[s] = 0
 			queue = append(queue, s)
 		}
 	}
+	csr := g.CSR()
 	for head := 0; head < len(queue); head++ {
 		v := queue[head]
-		r.Order = append(r.Order, v)
-		for _, a := range g.Neighbors(v) {
-			if r.Dist[a.To] == -1 {
-				r.Dist[a.To] = r.Dist[v] + 1
-				r.Parent[a.To] = v
-				r.ParentEdge[a.To] = a.Edge
-				queue = append(queue, a.To)
+		dv := r.Dist[v] + 1
+		for i, end := csr.Offsets[v], csr.Offsets[v+1]; i < end; i++ {
+			to := int(csr.To[i])
+			if r.Dist[to] == -1 {
+				r.Dist[to] = dv
+				r.Parent[to] = v
+				r.ParentEdge[to] = int(csr.EdgeID[i])
+				queue = append(queue, to)
 			}
 		}
 	}
+	r.Order = queue
 	return r
+}
+
+// ResizeInts returns s resliced to length n, reallocating only when the
+// capacity is short — the grow-or-reslice helper shared by the
+// slice-reusing constructors across packages (BFSResult reuse here,
+// partition rebuilds, etc.). New or grown elements are not zeroed.
+func ResizeInts(s []int, n int) []int {
+	if cap(s) < n {
+		return make([]int, n)
+	}
+	return s[:n]
 }
 
 // Eccentricity returns the maximum finite BFS distance from v and the
 // farthest node attaining it. Unreachable nodes are ignored; an isolated
 // node has eccentricity 0 with itself as the farthest node.
 func Eccentricity(g *Graph, v int) (ecc, farthest int) {
-	r := BFS(g, v)
+	return EccentricityInto(new(BFSResult), g, v)
+}
+
+// EccentricityInto is Eccentricity reusing r's slices (see MultiBFSInto).
+func EccentricityInto(r *BFSResult, g *Graph, v int) (ecc, farthest int) {
+	MultiBFSInto(r, g, []int{v})
 	ecc, farthest = 0, v
 	for u, d := range r.Dist {
 		if d > ecc {
@@ -104,8 +137,9 @@ func Diameter(g *Graph) (int, error) {
 		return 0, ErrDisconnected
 	}
 	diam := 0
+	var scratch BFSResult
 	for v := 0; v < g.NumNodes(); v++ {
-		if ecc, _ := Eccentricity(g, v); ecc > diam {
+		if ecc, _ := EccentricityInto(&scratch, g, v); ecc > diam {
 			diam = ecc
 		}
 	}

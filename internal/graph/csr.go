@@ -1,0 +1,68 @@
+package graph
+
+import (
+	"fmt"
+	"math"
+)
+
+// CSR is a compressed-sparse-row view of the adjacency structure: all arcs
+// packed into two parallel int32 slices with per-node offsets, so traversal
+// code (BFS, subtree sweeps, measurement) iterates contiguous memory
+// instead of chasing the per-node slice headers of [][]Arc. The arc order
+// within a node matches the adjacency-list insertion order, so CSR-driven
+// traversals visit neighbors in exactly the order Neighbors would — BFS
+// trees and everything derived from them are unchanged.
+//
+// A CSR is immutable once built. It is built lazily by (*Graph).CSR and
+// memoized on the graph; adding an edge invalidates the memo.
+type CSR struct {
+	// Offsets has length NumNodes+1; node v's arcs occupy the index range
+	// [Offsets[v], Offsets[v+1]) of To and EdgeID.
+	Offsets []int32
+	// To[i] is the neighbor node of arc i.
+	To []int32
+	// EdgeID[i] is the graph edge ID of arc i.
+	EdgeID []int32
+}
+
+// Degree returns the number of arcs of v.
+func (c *CSR) Degree(v int) int { return int(c.Offsets[v+1] - c.Offsets[v]) }
+
+// CSR returns the memoized compressed-sparse-row view of the graph,
+// building it on first use (O(n+m)). The returned view is shared and must
+// be treated as read-only; it stays valid until the next AddEdge /
+// AddWeightedEdge, which invalidates the memo. Like the graph itself, CSR
+// must not be raced with concurrent mutation, but concurrent readers of a
+// quiescent graph may all call it safely.
+func (g *Graph) CSR() *CSR {
+	if c := g.csr.Load(); c != nil {
+		return c
+	}
+	c := buildCSR(g)
+	g.csr.Store(c)
+	return c
+}
+
+func buildCSR(g *Graph) *CSR {
+	n := g.NumNodes()
+	arcs := 2 * len(g.edges)
+	if int64(n) >= math.MaxInt32 || int64(arcs) >= math.MaxInt32 {
+		panic(fmt.Sprintf("graph: CSR limited to int32 indices (n=%d, arcs=%d)", n, arcs))
+	}
+	c := &CSR{
+		Offsets: make([]int32, n+1),
+		To:      make([]int32, arcs),
+		EdgeID:  make([]int32, arcs),
+	}
+	off := int32(0)
+	for v := 0; v < n; v++ {
+		c.Offsets[v] = off
+		for _, a := range g.adj[v] {
+			c.To[off] = int32(a.To)
+			c.EdgeID[off] = int32(a.Edge)
+			off++
+		}
+	}
+	c.Offsets[n] = off
+	return c
+}

@@ -1,0 +1,80 @@
+package graph
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+func TestCSRMatchesAdjacency(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	g := RandomConnected(40, 90, rng)
+	c := g.CSR()
+	if got, want := len(c.Offsets), g.NumNodes()+1; got != want {
+		t.Fatalf("len(Offsets) = %d, want %d", got, want)
+	}
+	if got, want := len(c.To), 2*g.NumEdges(); got != want {
+		t.Fatalf("len(To) = %d, want %d", got, want)
+	}
+	for v := 0; v < g.NumNodes(); v++ {
+		adj := g.Neighbors(v)
+		if c.Degree(v) != len(adj) {
+			t.Fatalf("node %d: CSR degree %d, adjacency %d", v, c.Degree(v), len(adj))
+		}
+		for i, a := range adj {
+			j := int(c.Offsets[v]) + i
+			if int(c.To[j]) != a.To || int(c.EdgeID[j]) != a.Edge {
+				t.Fatalf("node %d arc %d: CSR (%d,%d), adjacency (%d,%d)",
+					v, i, c.To[j], c.EdgeID[j], a.To, a.Edge)
+			}
+		}
+	}
+}
+
+func TestCSRMemoizedAndInvalidated(t *testing.T) {
+	g := Grid(4, 4)
+	c1 := g.CSR()
+	if c2 := g.CSR(); c1 != c2 {
+		t.Error("CSR not memoized across calls")
+	}
+	g.AddEdge(0, 15)
+	c3 := g.CSR()
+	if c3 == c1 {
+		t.Error("CSR not invalidated by AddEdge")
+	}
+	if got, want := len(c3.To), 2*g.NumEdges(); got != want {
+		t.Errorf("rebuilt CSR has %d arcs, want %d", got, want)
+	}
+}
+
+func TestMultiBFSIntoMatchesMultiBFS(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	var scratch BFSResult
+	for trial := 0; trial < 20; trial++ {
+		n := 5 + rng.Intn(40)
+		g := RandomConnected(n, n-1+rng.Intn(n), rng)
+		src := []int{rng.Intn(n)}
+		if trial%3 == 0 {
+			src = append(src, rng.Intn(n))
+		}
+		fresh := MultiBFS(g, src)
+		reused := MultiBFSInto(&scratch, g, src)
+		if !reflect.DeepEqual(fresh.Dist, reused.Dist) ||
+			!reflect.DeepEqual(fresh.Parent, reused.Parent) ||
+			!reflect.DeepEqual(fresh.ParentEdge, reused.ParentEdge) ||
+			!reflect.DeepEqual(fresh.Order, reused.Order) {
+			t.Fatalf("trial %d: reused BFS differs from fresh BFS", trial)
+		}
+	}
+}
+
+func TestEdgeSliceAliasesEdges(t *testing.T) {
+	g := Grid(3, 3)
+	es := g.EdgeSlice()
+	if len(es) != g.NumEdges() {
+		t.Fatalf("EdgeSlice length %d, want %d", len(es), g.NumEdges())
+	}
+	if !reflect.DeepEqual(es, g.Edges()) {
+		t.Error("EdgeSlice content differs from Edges copy")
+	}
+}

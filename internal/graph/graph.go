@@ -13,6 +13,7 @@ package graph
 import (
 	"errors"
 	"fmt"
+	"sync/atomic"
 )
 
 // Edge is an undirected edge between nodes U and V with weight W.
@@ -35,6 +36,9 @@ type Graph struct {
 	n     int
 	edges []Edge
 	adj   [][]Arc
+	// csr memoizes the packed adjacency view; see (*Graph).CSR. It is
+	// invalidated whenever an edge is added.
+	csr atomic.Pointer[CSR]
 }
 
 // New returns an empty graph with n nodes and no edges.
@@ -61,6 +65,12 @@ func (g *Graph) Edges() []Edge {
 	return out
 }
 
+// EdgeSlice returns the graph's edge list without copying. The returned
+// slice is owned by the graph and must not be modified; it stays valid
+// until the next AddEdge/AddWeightedEdge. Hot loops should prefer this
+// over Edges, which copies on every call.
+func (g *Graph) EdgeSlice() []Edge { return g.edges }
+
 // Neighbors returns the adjacency list of v. The returned slice is owned by
 // the graph and must not be modified.
 func (g *Graph) Neighbors(v int) []Arc { return g.adj[v] }
@@ -85,6 +95,7 @@ func (g *Graph) AddWeightedEdge(u, v int, w float64) int {
 	g.edges = append(g.edges, Edge{U: u, V: v, W: w})
 	g.adj[u] = append(g.adj[u], Arc{To: v, Edge: id})
 	g.adj[v] = append(g.adj[v], Arc{To: u, Edge: id})
+	g.csr.Store(nil) // topology changed: drop the memoized CSR view
 	return id
 }
 
@@ -114,6 +125,28 @@ func (g *Graph) HasEdge(u, v int) bool {
 		}
 	}
 	return false
+}
+
+// Reset reinitializes g to an empty graph with n nodes, reusing the edge
+// and adjacency backing arrays — the slice-reuse constructor for loops
+// that build many short-lived graphs (e.g. per-part augmented subgraphs
+// during quality measurement). Any previously memoized CSR view is
+// dropped.
+func (g *Graph) Reset(n int) {
+	if n < 0 {
+		panic(fmt.Sprintf("graph: negative node count %d", n))
+	}
+	g.n = n
+	g.edges = g.edges[:0]
+	if cap(g.adj) < n {
+		g.adj = make([][]Arc, n)
+	} else {
+		g.adj = g.adj[:n]
+		for i := range g.adj {
+			g.adj[i] = g.adj[i][:0]
+		}
+	}
+	g.csr.Store(nil)
 }
 
 // Clone returns a deep copy of the graph.

@@ -34,7 +34,7 @@ func GreedyDenseMinor(g *graph.Graph, rng *rand.Rand) *Mapping {
 		alive[v] = true
 	}
 	edgeCount := 0
-	for _, e := range g.Edges() {
+	for _, e := range g.EdgeSlice() {
 		if !adj[e.U][e.V] {
 			adj[e.U][e.V] = true
 			adj[e.V][e.U] = true

@@ -117,7 +117,7 @@ func Identity(g *graph.Graph) *Mapping {
 	for v := 0; v < g.NumNodes(); v++ {
 		m.BranchSets[v] = []int{v}
 	}
-	for _, e := range g.Edges() {
+	for _, e := range g.EdgeSlice() {
 		m.Edges = append(m.Edges, [2]int{e.U, e.V})
 	}
 	return m

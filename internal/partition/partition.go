@@ -19,6 +19,13 @@ type Partition struct {
 	Parts [][]int
 	// PartOf maps a node to its part index, or -1 if uncovered.
 	PartOf []int
+
+	// Scratch for the slice-reusing constructors (FromLabelsInto): a dense
+	// label-index table, a visited indicator, and a BFS queue for the flat
+	// connectivity check.
+	labelIdx []int
+	seen     []bool
+	queue    []int
 }
 
 // New validates that the given parts are node-disjoint, within range, and
@@ -125,6 +132,95 @@ func BFSBlobs(g *graph.Graph, k int, rng *rand.Rand) (*Partition, error) {
 		parts[o] = append(parts[o], v)
 	}
 	return New(g, parts)
+}
+
+// FromLabelsInto rebuilds p in place from a node-label array, reusing its
+// backing slices — the slice-reuse counterpart of FromLabels for loops
+// that re-partition every round (e.g. Borůvka phases). Labels >= 0 must be
+// smaller than the node count (DSU roots and other node-derived labels
+// qualify); arbitrary sparse labels take the allocating FromLabels path.
+//
+// The caller owns p exclusively: rebuilding invalidates every previously
+// returned view of it, so the structures of the previous round (shortcuts,
+// routings, aggregation results) must already be discarded. On error the
+// receiver is left half-written: do not read it, only pass it to a future
+// FromLabelsInto call.
+func FromLabelsInto(p *Partition, g *graph.Graph, label []int) (*Partition, error) {
+	if p == nil {
+		p = &Partition{}
+	}
+	n := g.NumNodes()
+	if len(label) != n {
+		return nil, fmt.Errorf("partition: label length %d, want %d", len(label), n)
+	}
+	for _, l := range label {
+		if l >= n {
+			return FromLabels(g, label)
+		}
+	}
+	if cap(p.labelIdx) < n {
+		p.labelIdx = make([]int, n)
+		p.seen = make([]bool, n)
+	}
+	idx := p.labelIdx[:n]
+	for i := range idx {
+		idx[i] = -1
+	}
+	p.PartOf = graph.ResizeInts(p.PartOf, n)
+	// First-appearance order over nodes, matching FromLabels.
+	old := p.Parts
+	parts := p.Parts[:0]
+	for v, l := range label {
+		if l < 0 {
+			p.PartOf[v] = -1
+			continue
+		}
+		i := idx[l]
+		if i < 0 {
+			i = len(parts)
+			idx[l] = i
+			if i < len(old) {
+				parts = append(parts, old[i][:0])
+			} else {
+				parts = append(parts, nil)
+			}
+		}
+		parts[i] = append(parts[i], v)
+		p.PartOf[v] = i
+	}
+	p.Parts = parts
+	seen := p.seen[:n]
+	for i := range parts {
+		ok := p.connectedPartFlat(g, i, seen)
+		if !ok {
+			return nil, fmt.Errorf("partition: part %d does not induce a connected subgraph", i)
+		}
+	}
+	return p, nil
+}
+
+// connectedPartFlat is connectedPart on reusable scratch: seen must be
+// all-false on entry and is restored to all-false before returning.
+func (p *Partition) connectedPartFlat(g *graph.Graph, i int, seen []bool) bool {
+	part := p.Parts[i]
+	queue := p.queue[:0]
+	seen[part[0]] = true
+	queue = append(queue, part[0])
+	for head := 0; head < len(queue); head++ {
+		v := queue[head]
+		for _, a := range g.Neighbors(v) {
+			if p.PartOf[a.To] == i && !seen[a.To] {
+				seen[a.To] = true
+				queue = append(queue, a.To)
+			}
+		}
+	}
+	ok := len(queue) == len(part)
+	for _, v := range queue {
+		seen[v] = false
+	}
+	p.queue = queue
+	return ok
 }
 
 // FromLabels builds a partition from a node-label array: every label >= 0

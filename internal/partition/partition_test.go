@@ -2,6 +2,7 @@ package partition
 
 import (
 	"math/rand"
+	"reflect"
 	"testing"
 	"testing/quick"
 
@@ -181,5 +182,65 @@ func TestBFSBlobsQuick(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
 		t.Error(err)
+	}
+}
+
+// FromLabelsInto must agree with FromLabels and reuse its receiver's
+// memory across rebuilds, including shrinking and growing part counts.
+func TestFromLabelsIntoMatchesFromLabels(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	var p *Partition
+	for trial := 0; trial < 30; trial++ {
+		n := 6 + rng.Intn(50)
+		g := graph.RandomConnected(n, n-1+rng.Intn(n), rng)
+		// Voronoi-style labels from random seeds are connected and node-
+		// derived (< n), the FromLabelsInto fast path.
+		k := 1 + rng.Intn(n)
+		blobs, err := BFSBlobs(g, k, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		label := make([]int, n)
+		for v := range label {
+			if i := blobs.PartOf[v]; i >= 0 {
+				label[v] = blobs.Parts[i][0] // a node-ID label, possibly sparse in [0,n)
+			}
+		}
+		if trial%4 == 0 {
+			label[rng.Intn(n)] = label[rng.Intn(n)] // keep labels valid, vary shapes
+		}
+		want, errWant := FromLabels(g, label)
+		var errGot error
+		p, errGot = FromLabelsInto(p, g, label)
+		if (errWant == nil) != (errGot == nil) {
+			t.Fatalf("trial %d: FromLabels err=%v, FromLabelsInto err=%v", trial, errWant, errGot)
+		}
+		if errWant != nil {
+			p = nil // a failed rebuild leaves p half-written; start fresh
+			continue
+		}
+		if !reflect.DeepEqual(want.PartOf, p.PartOf) {
+			t.Fatalf("trial %d: PartOf differs", trial)
+		}
+		if len(want.Parts) != len(p.Parts) {
+			t.Fatalf("trial %d: %d parts, want %d", trial, len(p.Parts), len(want.Parts))
+		}
+		for i := range want.Parts {
+			if !reflect.DeepEqual(want.Parts[i], p.Parts[i]) {
+				t.Fatalf("trial %d: part %d differs", trial, i)
+			}
+		}
+	}
+}
+
+func TestFromLabelsIntoSparseFallback(t *testing.T) {
+	g := graph.Path(4)
+	label := []int{100, 100, 7, 7} // labels >= n: allocating FromLabels path
+	p, err := FromLabelsInto(nil, g, label)
+	if err != nil {
+		t.Fatalf("FromLabelsInto error = %v", err)
+	}
+	if p.NumParts() != 2 || p.PartOf[0] != 0 || p.PartOf[3] != 1 {
+		t.Errorf("sparse labels misparsed: parts=%d partOf=%v", p.NumParts(), p.PartOf)
 	}
 }

@@ -123,6 +123,20 @@ type Engine struct {
 	mu     sync.RWMutex
 	graphs map[Fingerprint]*graph.Graph
 
+	// builders pools shortcut.Builders across cold builds: a Builder owns
+	// the flat scratch of the Theorem 3.1 construction (part-set tables,
+	// epoch-stamped slices, per-level states of the speculative doubling
+	// search), so concurrent cold builds stop re-allocating it per
+	// request. Builders are not safe for concurrent use; the pool hands
+	// each build an exclusive one. Note the CPU bound: with the default
+	// speculative search each cold build may run up to GOMAXPROCS level
+	// goroutines, so a burst can occupy Workers x GOMAXPROCS goroutines
+	// (measurably faster end to end under loadgen, since losing levels
+	// abandon at their next iteration); deployments that need strict
+	// Workers-bounded CPU set BuildRequest.Options.Parallelism = 1 — the
+	// built shortcut is identical either way.
+	builders sync.Pool
+
 	counters counters
 }
 
@@ -135,6 +149,7 @@ func New(cfg Config) *Engine {
 		quit:   make(chan struct{}),
 		graphs: make(map[Fingerprint]*graph.Graph),
 	}
+	e.builders.New = func() any { return shortcut.NewBuilder() }
 	e.cache = newCache(cfg.CacheShards, cfg.CacheCapacity, &e.counters)
 	e.wg.Add(cfg.Workers)
 	for i := 0; i < cfg.Workers; i++ {
@@ -305,8 +320,10 @@ func (e *Engine) Build(ctx context.Context, req BuildRequest) (c *Cached, hit bo
 		// individually via getOrBuild, while the construction itself runs
 		// to completion and warms the cache.
 		return submit(e, context.WithoutCancel(ctx), func(context.Context) (*Cached, error) {
+			bld := e.builders.Get().(*shortcut.Builder)
+			defer e.builders.Put(bld)
 			start := time.Now()
-			res, err := shortcut.Build(g, req.Parts, req.Options)
+			res, err := bld.Build(g, req.Parts, req.Options)
 			if err != nil {
 				e.counters.buildErrs.Add(1)
 				return nil, err
@@ -409,6 +426,14 @@ func (e *Engine) Measure(ctx context.Context, key Fingerprint) (shortcut.Quality
 	if !ok {
 		return shortcut.Quality{}, ErrUnknownShortcut
 	}
+	return e.MeasureCached(ctx, c)
+}
+
+// MeasureCached is Measure on an already-held cache entry. Unlike Measure
+// it needs no key lookup, so build-then-measure sequences (the locshortd
+// /v1/shortcuts handler) stay immune to the entry being evicted between
+// the two steps under capacity pressure.
+func (e *Engine) MeasureCached(ctx context.Context, c *Cached) (shortcut.Quality, error) {
 	return submit(e, ctx, func(context.Context) (shortcut.Quality, error) {
 		return c.Quality(), nil
 	})

@@ -428,3 +428,40 @@ func TestEngineAddGraphDeduplicates(t *testing.T) {
 		t.Errorf("Graphs = %d, want 1", s.Graphs)
 	}
 }
+
+// MeasureCached must keep working on a held entry after eviction, while
+// key-addressed Measure correctly reports the entry gone — the
+// build-then-measure sequence of the locshortd /v1/shortcuts handler.
+func TestMeasureCachedSurvivesEviction(t *testing.T) {
+	e := newTestEngine(t, Config{Workers: 2, CacheCapacity: 1, CacheShards: 1})
+	g, p := testGraph(t)
+	fp, err := e.AddGraph(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	held, _, err := e.Build(context.Background(), BuildRequest{Graph: fp, Parts: p})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A second distinct shortcut on a capacity-1 shard evicts the first.
+	p2, err := partition.BFSBlobs(g, 4, rand.New(rand.NewSource(7)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := e.Build(context.Background(), BuildRequest{Graph: fp, Parts: p2}); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := e.Shortcut(held.Key); ok {
+		t.Fatal("first entry still resident; eviction did not happen")
+	}
+	if _, err := e.Measure(context.Background(), held.Key); !errors.Is(err, ErrUnknownShortcut) {
+		t.Errorf("Measure on evicted key = %v, want ErrUnknownShortcut", err)
+	}
+	q, err := e.MeasureCached(context.Background(), held)
+	if err != nil {
+		t.Fatalf("MeasureCached on held evicted entry: %v", err)
+	}
+	if q.CoveredParts != p.NumParts() {
+		t.Errorf("quality covers %d parts, want %d", q.CoveredParts, p.NumParts())
+	}
+}

@@ -2,7 +2,6 @@ package shortcut
 
 import (
 	"errors"
-	"fmt"
 	"math/bits"
 	"math/rand"
 
@@ -31,6 +30,15 @@ type Options struct {
 	BlockFactor      int
 	// MaxIterations caps the Observation 2.7 loop (default ceil(log2 k)+2).
 	MaxIterations int
+	// Parallelism caps the number of delta' levels the doubling search
+	// races speculatively (default GOMAXPROCS; 1 forces the sequential
+	// search). The accepted level and the canonical shortcut are identical
+	// at every setting — levels are pure functions of their inputs and the
+	// smallest completing level wins — so Parallelism is an execution hint,
+	// not part of the result's identity (the service layer excludes it
+	// from content addressing). Certify and fixed-Delta builds always run
+	// sequentially.
+	Parallelism int
 	// Certify requests dense-minor certificate extraction whenever a
 	// delta' level fails; extracted certificates are returned in the result.
 	Certify bool
@@ -72,125 +80,12 @@ var ErrDeltaTooSmall = errors.New("shortcut: construction failed at the requeste
 // when a fixed Options.Delta level fails (ErrDeltaTooSmall, with a non-nil
 // Result carrying certificates), or when MaxDelta is exhausted (impossible
 // for MaxDelta >= 2*delta(G) by Theorem 3.1).
+//
+// Build allocates a fresh Builder per call; callers constructing in a loop
+// (or serving concurrent requests) should hold their own Builder (or pool
+// of Builders) and call its Build method to reuse scratch memory.
 func Build(g *graph.Graph, p *partition.Partition, opts Options) (*Result, error) {
-	if p.NumParts() == 0 {
-		return nil, fmt.Errorf("shortcut: no parts")
-	}
-	if opts.Certify && opts.Rng == nil {
-		return nil, fmt.Errorf("shortcut: Certify requires Options.Rng")
-	}
-	t := opts.Tree
-	if t == nil {
-		var err error
-		t, err = tree.FromBFS(g, ChooseRoot(g))
-		if err != nil {
-			return nil, fmt.Errorf("shortcut: build tree: %w", err)
-		}
-	}
-	depth := t.MaxDepth()
-	if depth < 1 {
-		depth = 1
-	}
-	cf := opts.CongestionFactor
-	if cf == 0 {
-		cf = 8
-	}
-	bf := opts.BlockFactor
-	if bf == 0 {
-		bf = 8
-	}
-	maxIter := opts.MaxIterations
-	if maxIter == 0 {
-		maxIter = CeilLog2(p.NumParts()) + 2
-	}
-	maxDelta := opts.MaxDelta
-	if maxDelta == 0 {
-		maxDelta = g.NumNodes()
-	}
-	certAttempts := opts.CertAttempts
-	if certAttempts == 0 {
-		certAttempts = 8 * depth
-	}
-
-	res := &Result{TreeDepth: depth}
-	start := opts.Delta
-	fixed := start != 0
-	if !fixed {
-		start = 1
-	}
-	for delta := start; ; delta *= 2 {
-		if !fixed && delta > maxDelta {
-			return nil, fmt.Errorf("shortcut: doubling search exhausted at delta' = %d (max %d)", delta, maxDelta)
-		}
-		c := cf * delta * depth
-		b := bf * delta
-		s, iters, lastPartial, ok, err := runLevel(g, t, p, c, b, maxIter)
-		if err != nil {
-			return nil, err
-		}
-		if ok {
-			res.Shortcut = s
-			res.Delta = delta
-			res.CongestionThreshold = c
-			res.BlockBudget = b
-			res.Iterations = iters
-			return res, nil
-		}
-		if opts.Certify && lastPartial != nil {
-			if m, found := ExtractCertificate(g, t, p, lastPartial, float64(delta), certAttempts, opts.Rng); found {
-				res.Certificates = append(res.Certificates, m)
-				res.FailedDeltas = append(res.FailedDeltas, delta)
-			}
-		}
-		if fixed {
-			return res, fmt.Errorf("shortcut: delta' = %d: %w", opts.Delta, ErrDeltaTooSmall)
-		}
-	}
-}
-
-// runLevel runs the Observation 2.7 loop at a fixed (c, b) level. It returns
-// the accumulated shortcut, the iteration count, the last partial result
-// (for certificate extraction on failure), and whether every part was
-// covered.
-func runLevel(g *graph.Graph, t *tree.Rooted, p *partition.Partition, c, b, maxIter int) (*Shortcut, int, *Partial, bool, error) {
-	k := p.NumParts()
-	s := &Shortcut{
-		G:       g,
-		Parts:   p,
-		Tree:    t,
-		H:       make([][]int, k),
-		Covered: make([]bool, k),
-	}
-	active := make([]bool, k)
-	for i := range active {
-		active[i] = true
-	}
-	remaining := k
-	var last *Partial
-	for iter := 1; iter <= maxIter; iter++ {
-		pr, err := BuildPartial(g, t, p, c, b, active)
-		if err != nil {
-			return nil, 0, nil, false, err
-		}
-		last = pr
-		progress := 0
-		for i := 0; i < k; i++ {
-			if active[i] && pr.Shortcut.Covered[i] {
-				s.Covered[i] = true
-				s.H[i] = pr.Shortcut.H[i]
-				active[i] = false
-				progress++
-			}
-		}
-		remaining -= progress
-		if remaining == 0 {
-			return s, iter, last, true, nil
-		}
-		if progress == 0 {
-			return s, iter, last, false, nil
-		}
-	}
-	return s, maxIter, last, false, nil
+	return NewBuilder().Build(g, p, opts)
 }
 
 // ChooseRoot picks a BFS root near the graph center: it finds an
@@ -199,13 +94,15 @@ func runLevel(g *graph.Graph, t *tree.Rooted, p *partition.Partition, c, b, maxI
 // known trap: the BFS path between two grid corners can run along the
 // boundary, whose midpoint is another corner with eccentricity equal to the
 // diameter.) Cost is O(D*m) preprocessing; the resulting BFS tree has depth
-// close to the radius.
+// close to the radius. All sweeps share one BFS scratch, so the search
+// allocates O(n) total regardless of how many candidates it examines.
 func ChooseRoot(g *graph.Graph) int {
 	if g.NumNodes() == 0 {
 		return 0
 	}
-	_, a := graph.Eccentricity(g, 0)
-	r := graph.BFS(g, a)
+	var ecc graph.BFSResult // scratch for eccentricity probes
+	_, a := graph.EccentricityInto(&ecc, g, 0)
+	r := graph.BFS(g, a) // held across the probes below: needs its own result
 	far, dist := a, 0
 	for v, d := range r.Dist {
 		if d > dist {
@@ -214,9 +111,9 @@ func ChooseRoot(g *graph.Graph) int {
 	}
 	best, bestEcc := far, -1
 	for v := far; v != -1; v = r.Parent[v] {
-		ecc, _ := graph.Eccentricity(g, v)
-		if bestEcc == -1 || ecc < bestEcc {
-			best, bestEcc = v, ecc
+		e, _ := graph.EccentricityInto(&ecc, g, v)
+		if bestEcc == -1 || e < bestEcc {
+			best, bestEcc = v, e
 		}
 	}
 	// Greedy descent on eccentricity: the path argmin can still sit on the
@@ -232,9 +129,9 @@ func ChooseRoot(g *graph.Graph) int {
 			if i >= maxDescentNeighbors {
 				break
 			}
-			ecc, _ := graph.Eccentricity(g, a.To)
-			if ecc < bestEcc {
-				best, bestEcc = a.To, ecc
+			e, _ := graph.EccentricityInto(&ecc, g, a.To)
+			if e < bestEcc {
+				best, bestEcc = a.To, e
 				improved = true
 				break
 			}

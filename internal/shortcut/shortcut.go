@@ -128,29 +128,32 @@ const exactDiameterNodeLimit = 1500
 // The augmented graph of part i is exactly the paper's G[P_i] + H_i: the
 // edges induced on P_i plus the edges of H_i — G-edges between non-part
 // nodes of V(H_i) that are not in H_i do not count.
+//
+// Measurement runs on flat scratch shared across the parts of one call —
+// a dense per-edge load counter and one reusable augmented subgraph — so
+// cost scales with subgraph sizes, not with map traffic.
 func Measure(s *Shortcut) Quality {
 	q := Quality{DilationExact: true, CoveredParts: s.CoveredCount()}
-	// Congestion.
-	load := make(map[int]int)
+	// Congestion, over a dense per-edge counter.
+	load := make([]int32, s.G.NumEdges())
 	for i, h := range s.H {
 		if !s.Covered[i] {
 			continue
 		}
 		for _, id := range h {
 			load[id]++
-		}
-	}
-	for _, c := range load {
-		if c > q.Congestion {
-			q.Congestion = c
+			if int(load[id]) > q.Congestion {
+				q.Congestion = int(load[id])
+			}
 		}
 	}
 	// Dilation and blocks per covered part.
+	var m measurer
 	for i := range s.H {
 		if !s.Covered[i] {
 			continue
 		}
-		sub, nodes := buildAugmented(s, i)
+		sub, nodes := m.buildAugmented(s, i)
 		var d int
 		if len(nodes) <= exactDiameterNodeLimit {
 			var err error
@@ -174,7 +177,7 @@ func Measure(s *Shortcut) Quality {
 		if d > q.Dilation {
 			q.Dilation = d
 		}
-		if b := blocks(s, i, nodes); b > q.MaxBlocks {
+		if b := m.blocks(s, i, nodes); b > q.MaxBlocks {
 			q.MaxBlocks = b
 		}
 	}
@@ -184,7 +187,8 @@ func Measure(s *Shortcut) Quality {
 // PartDilation returns the diameter of G[P_i]+H_i for a single part (exact,
 // regardless of size), or -1 if the augmented subgraph is disconnected.
 func PartDilation(s *Shortcut, i int) int {
-	sub, _ := buildAugmented(s, i)
+	var m measurer
+	sub, _ := m.buildAugmented(s, i)
 	d, err := graph.Diameter(sub)
 	if err != nil {
 		return -1
@@ -192,30 +196,74 @@ func PartDilation(s *Shortcut, i int) int {
 	return d
 }
 
-// buildAugmented constructs G[P_i] + H_i as a standalone graph whose node j
-// corresponds to nodes[j] in G.
-func buildAugmented(s *Shortcut, i int) (*graph.Graph, []int) {
-	nodes, extra := augmented(s, i)
-	idx := make(map[int]int, len(nodes))
-	for j, v := range nodes {
-		idx[v] = j
+// measurer is the per-call scratch of Measure: a global-node-to-local-index
+// table (cleared by walking the previous node list, so clearing is O(sub)),
+// the node list itself, and a reusable subgraph.
+type measurer struct {
+	idx   []int32 // global node -> local index + 1; 0 = absent
+	nodes []int
+	sub   graph.Graph
+}
+
+// buildAugmented constructs G[P_i] + H_i into the measurer's reused
+// subgraph, whose node j corresponds to nodes[j] in G. The returned graph
+// and node list stay valid until the next buildAugmented call.
+func (m *measurer) buildAugmented(s *Shortcut, i int) (*graph.Graph, []int) {
+	if cap(m.idx) < s.G.NumNodes() {
+		m.idx = make([]int32, s.G.NumNodes())
 	}
-	inPart := make(map[int]bool, len(s.Parts.Parts[i]))
+	idx := m.idx[:s.G.NumNodes()]
+	for _, v := range m.nodes {
+		idx[v] = 0 // clear the previous part's entries
+	}
+	nodes := m.nodes[:0]
+	collect := func(v int) {
+		if idx[v] == 0 {
+			idx[v] = 1
+			nodes = append(nodes, v)
+		}
+	}
 	for _, v := range s.Parts.Parts[i] {
-		inPart[v] = true
+		collect(v)
 	}
-	sub := graph.New(len(nodes))
+	for _, id := range s.H[i] {
+		e := s.G.Edge(id)
+		collect(e.U)
+		collect(e.V)
+	}
+	sort.Ints(nodes)
+	for j, v := range nodes {
+		idx[v] = int32(j) + 1
+	}
+	m.nodes = nodes
+
+	sub := &m.sub
+	sub.Reset(len(nodes))
 	for _, v := range s.Parts.Parts[i] {
 		for _, a := range s.G.Neighbors(v) {
-			if inPart[a.To] && v < a.To {
-				sub.AddEdge(idx[v], idx[a.To])
+			// a.To in P_i exactly when its part index matches; parts are
+			// disjoint, so PartOf replaces the membership set.
+			if s.Parts.PartOf[a.To] == i && v < a.To {
+				sub.AddEdge(int(idx[v])-1, int(idx[a.To])-1)
 			}
 		}
 	}
-	for _, e := range extra {
-		sub.AddEdge(idx[e[0]], idx[e[1]])
+	for _, id := range s.H[i] {
+		e := s.G.Edge(id)
+		sub.AddEdge(int(idx[e.U])-1, int(idx[e.V])-1)
 	}
 	return sub, nodes
+}
+
+// blocks counts the connected components of (P_i ∪ V(H_i), H_i), reusing
+// the local indices installed by the preceding buildAugmented call.
+func (m *measurer) blocks(s *Shortcut, i int, nodes []int) int {
+	d := graph.NewDSU(len(nodes))
+	for _, id := range s.H[i] {
+		e := s.G.Edge(id)
+		d.Union(int(m.idx[e.U])-1, int(m.idx[e.V])-1)
+	}
+	return d.Sets()
 }
 
 // EdgeLoads returns, for every edge with nonzero load, the number of covered
@@ -231,39 +279,4 @@ func EdgeLoads(s *Shortcut) map[int]int {
 		}
 	}
 	return load
-}
-
-// augmented returns the node set P_i ∪ V(H_i) and H_i as node pairs.
-func augmented(s *Shortcut, i int) (nodes []int, extra [][2]int) {
-	in := make(map[int]bool)
-	for _, v := range s.Parts.Parts[i] {
-		in[v] = true
-	}
-	extra = make([][2]int, 0, len(s.H[i]))
-	for _, id := range s.H[i] {
-		e := s.G.Edge(id)
-		in[e.U] = true
-		in[e.V] = true
-		extra = append(extra, [2]int{e.U, e.V})
-	}
-	nodes = make([]int, 0, len(in))
-	for v := range in {
-		nodes = append(nodes, v)
-	}
-	sort.Ints(nodes)
-	return nodes, extra
-}
-
-// blocks counts the connected components of (P_i ∪ V(H_i), H_i).
-func blocks(s *Shortcut, i int, nodes []int) int {
-	idx := make(map[int]int, len(nodes))
-	for j, v := range nodes {
-		idx[v] = j
-	}
-	d := graph.NewDSU(len(nodes))
-	for _, id := range s.H[i] {
-		e := s.G.Edge(id)
-		d.Union(idx[e.U], idx[e.V])
-	}
-	return d.Sets()
 }

@@ -2,7 +2,6 @@ package shortcut
 
 import (
 	"fmt"
-	"sort"
 
 	"locshort/internal/graph"
 	"locshort/internal/partition"
@@ -45,6 +44,16 @@ type PartRep struct {
 // means all); inactive parts neither count toward congestion nor receive
 // shortcuts — this is what the Observation 2.7 loop passes on later
 // iterations.
+//
+// The bottom-up sweep accumulates, per node, the set of active parts
+// intersecting the T\O subtree below it, merged small-into-large on flat
+// pooled tables (see Builder). Representatives are kept at minimal depth:
+// the shallowest part node in the subtree. This matters for certificate
+// extraction — the paper's independence argument (the "potentially
+// present" probability of an edge (e, P_i) is independent of P_i being
+// sampled) requires the tree path from v_e to the representative to
+// contain no other P_i node, which holds exactly for a minimal-depth
+// representative.
 func BuildPartial(g *graph.Graph, t *tree.Rooted, p *partition.Partition, c, b int, active []bool) (*Partial, error) {
 	if c < 1 {
 		return nil, fmt.Errorf("shortcut: congestion threshold %d < 1", c)
@@ -55,78 +64,17 @@ func BuildPartial(g *graph.Graph, t *tree.Rooted, p *partition.Partition, c, b i
 	if t.NumNodes() != g.NumNodes() {
 		return nil, fmt.Errorf("shortcut: tree has %d nodes, graph has %d", t.NumNodes(), g.NumNodes())
 	}
-	n := g.NumNodes()
-	k := p.NumParts()
-	isActive := func(i int) bool { return active == nil || active[i] }
+	ls := statePool.Get().(*levelState)
+	defer statePool.Put(ls)
+	ls.prepare(g.NumNodes())
 
-	// Bottom-up sweep: S[v] maps part -> representative node, accumulating
-	// the parts intersecting the T\O subtree below v. cutAbove[v] marks v's
-	// parent edge as overcongested.
-	//
-	// Representatives are kept at minimal depth: the shallowest part node in
-	// the subtree. This matters for certificate extraction — the paper's
-	// independence argument (the "potentially present" probability of an
-	// edge (e, P_i) is independent of P_i being sampled) requires the tree
-	// path from v_e to the representative to contain no other P_i node,
-	// which holds exactly for a minimal-depth representative.
-	S := make([]map[int]int, n)
-	cutAbove := make([]bool, n)
-	pr := &Partial{IE: make(map[int][]PartRep), DegB: make([]int, k)}
-
-	for idx := len(t.Order) - 1; idx >= 0; idx-- {
-		v := t.Order[idx]
-		sv := S[v]
-		if sv == nil {
-			sv = make(map[int]int, 1)
-		}
-		if pi := p.PartOf[v]; pi >= 0 && isActive(pi) {
-			// v is shallower than every node merged from its children, so
-			// it always becomes the representative of its own part.
-			sv[pi] = v
-		}
-		parent := t.Parent[v]
-		if parent < 0 {
-			S[v] = sv
-			continue
-		}
-		if len(sv) >= c {
-			// v's parent edge is overcongested: cut it, record I_e.
-			cutAbove[v] = true
-			e := t.ParentEdge[v]
-			pr.Overcongested = append(pr.Overcongested, e)
-			reps := make([]PartRep, 0, len(sv))
-			for part, rep := range sv {
-				reps = append(reps, PartRep{Part: part, Rep: rep})
-				pr.DegB[part]++
-			}
-			sort.Slice(reps, func(i, j int) bool { return reps[i].Part < reps[j].Part })
-			pr.IE[e] = reps
-			S[v] = nil
-			continue
-		}
-		// Merge into the parent (small-to-large, keeping the shallower
-		// representative on conflicts).
-		sp := S[parent]
-		if sp == nil {
-			S[parent] = sv
-		} else {
-			if len(sp) < len(sv) {
-				sp, sv = sv, sp
-				S[parent] = sp
-			}
-			for part, rep := range sv {
-				if cur, ok := sp[part]; !ok || t.Depth[rep] < t.Depth[cur] {
-					sp[part] = rep
-				}
-			}
-		}
-		S[v] = nil
-	}
-	sort.Ints(pr.Overcongested)
+	pr := &Partial{IE: make(map[int][]PartRep), DegB: make([]int, p.NumParts())}
+	ls.sweep(t, p, c, active, pr)
 
 	// Case (I): cover parts whose bipartite degree is within budget, giving
 	// them every ancestor edge in the forest T\O.
-	pr.Shortcut = AssembleFromCuts(g, t, p, cutAbove, active, b)
+	pr.Shortcut = newEmptyUncovered(g, t, p)
+	ls.assemble(g, t, p, active, b, pr.Shortcut, false)
 	return pr, nil
 }
 
@@ -136,66 +84,32 @@ func BuildPartial(g *graph.Graph, t *tree.Rooted, p *partition.Partition, c, b i
 // covered with all its ancestor edges in the forest. It is shared by the
 // centralized construction and the harvest step of the distributed one.
 func AssembleFromCuts(g *graph.Graph, t *tree.Rooted, p *partition.Partition, cutAbove []bool, active []bool, b int) *Shortcut {
-	n := g.NumNodes()
+	if len(cutAbove) != g.NumNodes() {
+		// A short slice would leave stale pooled scratch in the tail and
+		// silently corrupt the harvest; fail as loudly as the pre-pool
+		// code, which indexed the caller's slice directly.
+		panic(fmt.Sprintf("shortcut: cutAbove has %d entries for %d nodes", len(cutAbove), g.NumNodes()))
+	}
+	ls := statePool.Get().(*levelState)
+	defer statePool.Put(ls)
+	ls.prepare(g.NumNodes())
+	copy(ls.cutAbove, cutAbove)
+	s := newEmptyUncovered(g, t, p)
+	ls.assemble(g, t, p, active, b, s, false)
+	return s
+}
+
+// newEmptyUncovered returns a tree-restricted shortcut shell with no part
+// covered yet.
+func newEmptyUncovered(g *graph.Graph, t *tree.Rooted, p *partition.Partition) *Shortcut {
 	k := p.NumParts()
-	isActive := func(i int) bool { return active == nil || active[i] }
-
-	// Component roots of T\O, top-down.
-	compRoot := make([]int, n)
-	for _, v := range t.Order {
-		if t.Parent[v] == -1 || cutAbove[v] {
-			compRoot[v] = v
-		} else {
-			compRoot[v] = compRoot[t.Parent[v]]
-		}
-	}
-	// Bipartite degree: distinct non-root-component roots touched.
-	degB := make([]int, k)
-	touched := make(map[[2]int]bool)
-	for v := 0; v < n; v++ {
-		i := p.PartOf[v]
-		if i < 0 || !isActive(i) {
-			continue
-		}
-		r := compRoot[v]
-		if !cutAbove[r] {
-			continue // global root component does not count toward deg_B
-		}
-		key := [2]int{i, r}
-		if !touched[key] {
-			touched[key] = true
-			degB[i]++
-		}
-	}
-
-	s := &Shortcut{
+	return &Shortcut{
 		G:       g,
 		Parts:   p,
 		Tree:    t,
 		H:       make([][]int, k),
 		Covered: make([]bool, k),
 	}
-	stamp := make([]int, n)
-	for v := range stamp {
-		stamp[v] = -1
-	}
-	for i := 0; i < k; i++ {
-		if !isActive(i) || degB[i] > b {
-			continue
-		}
-		s.Covered[i] = true
-		h := []int{}
-		for _, u := range p.Parts[i] {
-			for u != -1 && !cutAbove[u] && t.Parent[u] != -1 && stamp[u] != i {
-				stamp[u] = i
-				h = append(h, t.ParentEdge[u])
-				u = t.Parent[u]
-			}
-		}
-		sort.Ints(h)
-		s.H[i] = h
-	}
-	return s
 }
 
 // CutAbove reconstructs, for certificate extraction, whether each node's

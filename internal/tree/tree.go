@@ -46,6 +46,36 @@ func FromBFS(g *graph.Graph, root int) (*Rooted, error) {
 	return t, nil
 }
 
+// FromBFSInto is FromBFS reusing t's slices — the slice-reuse constructor
+// for loops that root many trees and discard each after use (root-choice
+// sweeps, per-candidate measurements). Rebuilding invalidates every
+// previously returned view of t, including shortcuts restricted to it, so
+// those must already be discarded. A nil t allocates fresh.
+//
+// On error the receiver's contents are unspecified (the BFS has already
+// overwritten its backing arrays): do not traverse it, only pass it to a
+// future FromBFSInto call.
+func FromBFSInto(t *Rooted, g *graph.Graph, root int) (*Rooted, error) {
+	if t == nil {
+		t = &Rooted{}
+	}
+	// Invalidate the derived state first, so a tree left half-written by
+	// the error path below is at least not self-inconsistent with a stale
+	// memo of the previous tree.
+	t.children = nil
+	t.Root = root
+	r := graph.BFSResult{Dist: t.Depth, Parent: t.Parent, ParentEdge: t.ParentEdge, Order: t.Order}
+	graph.MultiBFSInto(&r, g, []int{root})
+	t.Parent = r.Parent
+	t.ParentEdge = r.ParentEdge
+	t.Depth = r.Dist
+	t.Order = r.Order
+	if len(r.Order) != g.NumNodes() {
+		return nil, graph.ErrDisconnected
+	}
+	return t, nil
+}
+
 // FromParents builds a Rooted from explicit parent and parent-edge arrays.
 // Used by the distributed algorithms to materialize the tree a protocol
 // computed. It validates acyclicity and depth consistency.

@@ -2,6 +2,7 @@ package tree
 
 import (
 	"math/rand"
+	"reflect"
 	"testing"
 	"testing/quick"
 
@@ -234,5 +235,44 @@ func TestRootedInvariantsQuick(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
 		t.Error(err)
+	}
+}
+
+// FromBFSInto must produce the same tree as FromBFS while reusing the
+// receiver's slices, and must reset the memoized child lists.
+func TestFromBFSIntoMatchesFromBFS(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	var tr *Rooted
+	for trial := 0; trial < 25; trial++ {
+		n := 4 + rng.Intn(40)
+		g := graph.RandomConnected(n, n-1+rng.Intn(n), rng)
+		root := rng.Intn(n)
+		want, err := FromBFS(g, root)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr, err = FromBFSInto(tr, g, root)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tr.Root != want.Root ||
+			!reflect.DeepEqual(tr.Parent, want.Parent) ||
+			!reflect.DeepEqual(tr.ParentEdge, want.ParentEdge) ||
+			!reflect.DeepEqual(tr.Depth, want.Depth) ||
+			!reflect.DeepEqual(tr.Order, want.Order) {
+			t.Fatalf("trial %d: reused tree differs from fresh tree", trial)
+		}
+		if !reflect.DeepEqual(tr.Children(), want.Children()) {
+			t.Fatalf("trial %d: child lists differ after reuse", trial)
+		}
+	}
+}
+
+func TestFromBFSIntoDisconnected(t *testing.T) {
+	g := graph.New(4)
+	g.AddEdge(0, 1)
+	g.AddEdge(2, 3)
+	if _, err := FromBFSInto(nil, g, 0); err == nil {
+		t.Error("FromBFSInto accepted a disconnected graph")
 	}
 }

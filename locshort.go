@@ -118,17 +118,27 @@ type (
 	BuildResult = shortcut.Result
 	// Partial is one run of the Theorem 3.1 overcongested-edge process.
 	Partial = shortcut.Partial
+	// ShortcutBuilder is the reusable flat-state construction core: it
+	// owns the scratch memory of the Theorem 3.1 process and races the
+	// doubling search's delta' levels speculatively. Not safe for
+	// concurrent use; pool Builders instead (the service engine does).
+	ShortcutBuilder = shortcut.Builder
 )
 
 // Shortcut functions re-exported from internal/shortcut.
 var (
 	Build              = shortcut.Build
+	NewShortcutBuilder = shortcut.NewBuilder
 	BuildPartial       = shortcut.BuildPartial
 	Measure            = shortcut.Measure
 	TrivialShortcut    = shortcut.Trivial
 	EmptyShortcut      = shortcut.NewEmpty
 	ExtractCertificate = shortcut.ExtractCertificate
 	ChooseRoot         = shortcut.ChooseRoot
+	// BuildSequentialReference is the preserved pre-Builder construction
+	// path (map-based state, strictly sequential doubling search), kept as
+	// the executable performance and equivalence baseline.
+	BuildSequentialReference = shortcut.BuildReference
 )
 
 // ErrDeltaTooSmall is returned by Build for infeasible fixed delta levels.
