@@ -6,26 +6,49 @@
 //
 // Usage:
 //
-//	loadgen -addr 127.0.0.1:8080 [-duration 10s] [-conns 8]
+//	loadgen [-addr 127.0.0.1:8080] [-duration 10s] [-conns 8]
 //	        [-catalog "grid:32x32;torus:16x16;wheel:200;ktree:300,4"]
 //	        [-parts blobs:32] [-seeds 4] [-zipf 1.3] [-job-frac 0]
-//	        [-require-hits]
+//	        [-seed 1] [-require-hits] [-require-store-hits]
+//
+// Flags (all of them — the README table mirrors this list):
+//
+//	-addr      locshortd address (host:port or URL)
+//	-duration  how long to generate load
+//	-conns     concurrent closed-loop connections
+//	-catalog   semicolon-separated graph family specs, hottest first
+//	-parts     partition spec sent with every request
+//	-seeds     distinct partition seeds per graph (shortcut universe size)
+//	-zipf      Zipf skew across catalog ranks (> 1)
+//	-job-frac  fraction of requests that are MST jobs instead of builds
+//	-seed      generator seed
+//	-require-hits        exit nonzero unless the server reports cache hits
+//	-require-store-hits  exit nonzero unless the server reports store hits
 //
 // Each request picks a catalog graph by Zipf rank (rank 1 is hottest) and
 // a partition seed uniformly from [0, seeds); the (graph, partition seed)
 // pair determines the shortcut fingerprint, so `seeds` controls how many
 // distinct shortcuts exist per graph. The report splits request latency by
-// the server's `cached` flag, which is how the cache-hit speedup over cold
-// construction is measured:
+// the server's `source` field — cold constructions, durable-store loads,
+// and resident cache hits — which is how both the cache-hit speedup and
+// the restart-recovery (warm-start) speedup are measured:
 //
 //	requests: 1243 ok, 0 errors, 124.3 req/s
-//	cold builds:  27   p50 41.2ms   p99 98.0ms
-//	cache hits:   1216 p50 0.8ms    p99 2.1ms
+//	cold builds:   11   p50 41.2ms   p99 98.0ms
+//	store hits:    16   p50 3.1ms    p99 5.9ms
+//	cache hits:    1216 p50 0.8ms    p99 2.1ms
 //	hit/cold median speedup: 51.5x
-//	server hit rate: 0.97
+//	store/cold median speedup: 13.3x (warm start vs rebuild)
+//	server: 11 builds, ... 16 store hits / 11 store misses
 //
-// -require-hits exits nonzero when the server reports zero cache hits —
-// the CI smoke assertion.
+// The restart-recovery scenario: run loadgen against a daemon started with
+// -data, SIGTERM the daemon, restart it on the same directory, and run the
+// same loadgen line again with -require-store-hits. Every first touch of a
+// shortcut in the second run is served from the store ("store hits"
+// above), so its p50 against the first run's "cold builds" p50 is the
+// measured warm-start advantage, and `server: 0 builds` proves nothing was
+// rebuilt. CI automates exactly this (see .github/workflows/ci.yml);
+// OPERATIONS.md documents the operator runbook.
 package main
 
 import (
@@ -54,7 +77,7 @@ func main() {
 
 type sample struct {
 	latency time.Duration
-	cached  bool
+	source  string // "built", "store", or "cache" (empty for jobs)
 	job     bool
 }
 
@@ -90,12 +113,13 @@ func run() error {
 		conns    = flag.Int("conns", 8, "concurrent closed-loop connections")
 		catalog  = flag.String("catalog", "grid:32x32;torus:16x16;wheel:200;ktree:300,4",
 			"semicolon-separated graph family specs, hottest first")
-		partSpec    = flag.String("parts", "blobs:32", "partition spec sent with every request")
-		seeds       = flag.Int("seeds", 4, "distinct partition seeds per graph (shortcut universe size)")
-		zipfS       = flag.Float64("zipf", 1.3, "Zipf skew across catalog ranks (>1)")
-		jobFrac     = flag.Float64("job-frac", 0, "fraction of requests that are MST jobs instead of shortcut builds")
-		seed        = flag.Int64("seed", 1, "generator seed")
-		requireHits = flag.Bool("require-hits", false, "exit nonzero unless the server reports cache hits")
+		partSpec         = flag.String("parts", "blobs:32", "partition spec sent with every request")
+		seeds            = flag.Int("seeds", 4, "distinct partition seeds per graph (shortcut universe size)")
+		zipfS            = flag.Float64("zipf", 1.3, "Zipf skew across catalog ranks (>1)")
+		jobFrac          = flag.Float64("job-frac", 0, "fraction of requests that are MST jobs instead of shortcut builds")
+		seed             = flag.Int64("seed", 1, "generator seed")
+		requireHits      = flag.Bool("require-hits", false, "exit nonzero unless the server reports cache hits")
+		requireStoreHits = flag.Bool("require-store-hits", false, "exit nonzero unless the server reports durable-store hits (restart-recovery assertion)")
 	)
 	flag.Parse()
 	if *zipfS <= 1 {
@@ -161,12 +185,20 @@ func run() error {
 					}, nil)
 				} else {
 					var resp struct {
-						Cached bool `json:"cached"`
+						Cached bool   `json:"cached"`
+						Source string `json:"source"`
 					}
 					err = c.post("/v1/shortcuts", map[string]any{
 						"graph": fps[gi], "partition": *partSpec, "seed": ps,
 					}, &resp)
-					s.cached = resp.Cached
+					s.source = resp.Source
+					if s.source == "" { // pre-source servers: fall back to the cached flag
+						if resp.Cached {
+							s.source = "cache"
+						} else {
+							s.source = "built"
+						}
+					}
 				}
 				s.latency = time.Since(start)
 				mu.Lock()
@@ -211,20 +243,30 @@ func run() error {
 	fmt.Printf("server: %d builds, %d hits / %d misses (hit rate %.2f), %d evictions, %d graphs\n",
 		stats.Stats.Builds, stats.Stats.CacheHits, stats.Stats.CacheMisses,
 		stats.HitRate, stats.Stats.CacheEvictions, stats.Stats.Graphs)
+	if stats.Stats.StoreHits+stats.Stats.StoreMisses+stats.Stats.StoreWrites+stats.Stats.StoreErrors > 0 {
+		fmt.Printf("server store: %d hits / %d misses, %d writes, %d errors\n",
+			stats.Stats.StoreHits, stats.Stats.StoreMisses,
+			stats.Stats.StoreWrites, stats.Stats.StoreErrors)
+	}
 	if *requireHits && stats.Stats.CacheHits == 0 {
 		return fmt.Errorf("require-hits: server reports zero cache hits")
+	}
+	if *requireStoreHits && stats.Stats.StoreHits == 0 {
+		return fmt.Errorf("require-store-hits: server reports zero durable-store hits")
 	}
 	return nil
 }
 
 func report(samples []sample, errs int, d time.Duration) {
-	var cold, hit, jobs []time.Duration
+	var cold, stored, hit, jobs []time.Duration
 	for _, s := range samples {
 		switch {
 		case s.job:
 			jobs = append(jobs, s.latency)
-		case s.cached:
+		case s.source == "cache":
 			hit = append(hit, s.latency)
+		case s.source == "store":
+			stored = append(stored, s.latency)
 		default:
 			cold = append(cold, s.latency)
 		}
@@ -241,6 +283,9 @@ func report(samples []sample, errs int, d time.Duration) {
 			name+":", len(ls), quantile(ls, 0.50), quantile(ls, 0.99))
 	}
 	line("cold builds", cold)
+	if len(stored) > 0 {
+		line("store hits", stored)
+	}
 	line("cache hits", hit)
 	if len(jobs) > 0 {
 		line("mst jobs", jobs)
@@ -248,6 +293,10 @@ func report(samples []sample, errs int, d time.Duration) {
 	if len(cold) > 0 && len(hit) > 0 {
 		ratio := float64(quantile(cold, 0.50)) / float64(quantile(hit, 0.50))
 		fmt.Printf("hit/cold median speedup: %.1fx\n", ratio)
+	}
+	if len(cold) > 0 && len(stored) > 0 {
+		ratio := float64(quantile(cold, 0.50)) / float64(quantile(stored, 0.50))
+		fmt.Printf("store/cold median speedup: %.1fx (warm start vs rebuild)\n", ratio)
 	}
 }
 

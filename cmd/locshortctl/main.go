@@ -1,0 +1,180 @@
+// Command locshortctl is the offline administration tool for a locshortd
+// durable store directory (internal/store): list, inspect, verify, and
+// compact the content-addressed records without a running daemon.
+//
+// Usage:
+//
+//	locshortctl -data DIR ls               list live records
+//	locshortctl -data DIR inspect <fp>     decode one record in detail
+//	locshortctl -data DIR verify           full integrity check (exit 1 on problems)
+//	locshortctl -data DIR gc               compact segments, reclaim dead space
+//
+// The store is single-owner: run locshortctl against a stopped daemon or a
+// copied directory, never against the directory of a live locshortd. See
+// OPERATIONS.md for the backup / GC / verify runbook.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"locshort/internal/service"
+	"locshort/internal/shortcut"
+	"locshort/internal/store"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "locshortctl:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() error {
+	return fmt.Errorf("usage: locshortctl -data DIR {ls | inspect <fp> | verify | gc}")
+}
+
+func run() error {
+	data := flag.String("data", "", "store directory (required)")
+	flag.Parse()
+	if *data == "" || flag.NArg() < 1 {
+		return usage()
+	}
+	// Unlike the daemon, an admin tool must not conjure an empty store out
+	// of a mistyped path and then report it "clean".
+	if fi, err := os.Stat(*data); err != nil || !fi.IsDir() {
+		return fmt.Errorf("store directory %s does not exist", *data)
+	}
+	s, err := store.Open(*data, store.Options{})
+	if err != nil {
+		return err
+	}
+	defer s.Close()
+
+	switch cmd := flag.Arg(0); cmd {
+	case "ls":
+		return runLs(s)
+	case "inspect":
+		if flag.NArg() != 2 {
+			return usage()
+		}
+		fp, err := service.ParseFingerprint(flag.Arg(1))
+		if err != nil {
+			return err
+		}
+		return runInspect(s, fp)
+	case "verify":
+		return runVerify(s)
+	case "gc":
+		return runGC(s)
+	default:
+		return usage()
+	}
+}
+
+func runLs(s *store.Store) error {
+	recs := s.Records()
+	fmt.Printf("%-9s  %-16s  %8s  %s\n", "KIND", "KEY", "BYTES", "DEPENDS ON")
+	for _, r := range recs {
+		dep := ""
+		if r.Kind == "shortcut" {
+			dep = fmt.Sprintf("graph %s, partition %s", r.GraphFP, r.PartitionFP)
+		}
+		fmt.Printf("%-9s  %-16s  %8d  %s\n", r.Kind, r.Key, r.Bytes, dep)
+	}
+	st := s.OpenStats()
+	fmt.Printf("%d records (%d graphs, %d partitions, %d shortcuts) in %d segments, %d bytes\n",
+		len(recs), st.Graphs, st.Partitions, st.Shortcuts, st.Segments, st.Bytes)
+	if st.CorruptSkipped > 0 || st.TruncatedBytes > 0 {
+		fmt.Printf("repaired on open: %d corrupt records skipped, %d bytes truncated\n",
+			st.CorruptSkipped, st.TruncatedBytes)
+	}
+	return nil
+}
+
+// runInspect decodes every record stored under fp (a fingerprint can in
+// principle key a graph, a partition, and a shortcut at once — they are
+// separate namespaces) and prints what it finds.
+func runInspect(s *store.Store, fp service.Fingerprint) error {
+	found := false
+	for _, r := range s.Records() {
+		if r.Key != fp {
+			continue
+		}
+		found = true
+		switch r.Kind {
+		case "graph":
+			g, ok, err := s.GetGraph(fp)
+			if err != nil {
+				return err
+			}
+			if ok {
+				fmt.Printf("graph %s: %d nodes, %d edges (%d bytes on disk)\n",
+					fp, g.NumNodes(), g.NumEdges(), r.Bytes)
+			}
+		case "partition":
+			fmt.Printf("partition %s: %d bytes on disk (decoded against its graph during shortcut inspection)\n",
+				fp, r.Bytes)
+		case "shortcut":
+			fmt.Printf("shortcut %s: built on graph %s, partition %s (%d bytes on disk)\n",
+				fp, r.GraphFP, r.PartitionFP, r.Bytes)
+			g, ok, err := s.GetGraph(r.GraphFP)
+			if err != nil || !ok {
+				fmt.Printf("  graph record unavailable (ok=%v err=%v); cannot decode further\n", ok, err)
+				continue
+			}
+			parts, ok, err := s.GetPartition(r.PartitionFP, g)
+			if err != nil || !ok {
+				fmt.Printf("  partition record unavailable (ok=%v err=%v); cannot decode further\n", ok, err)
+				continue
+			}
+			res, buildTime, ok, err := s.GetShortcut(fp, g, parts)
+			if err != nil || !ok {
+				fmt.Printf("  shortcut decode failed (ok=%v err=%v)\n", ok, err)
+				continue
+			}
+			q := shortcut.Measure(res.Shortcut)
+			fmt.Printf("  delta'=%d iterations=%d tree depth=%d, original build %v\n",
+				res.Delta, res.Iterations, res.TreeDepth, buildTime)
+			fmt.Printf("  parts=%d covered=%d congestion=%d dilation=%d blocks=%d\n",
+				parts.NumParts(), q.CoveredParts, q.Congestion, q.Dilation, q.MaxBlocks)
+		}
+	}
+	if !found {
+		return fmt.Errorf("no record stored under %s", fp)
+	}
+	return nil
+}
+
+func runVerify(s *store.Store) error {
+	st := s.OpenStats()
+	if st.CorruptSkipped > 0 || st.TruncatedBytes > 0 {
+		fmt.Printf("repaired on open: %d corrupt records skipped, %d bytes truncated\n",
+			st.CorruptSkipped, st.TruncatedBytes)
+	}
+	problems := s.Verify()
+	for _, p := range problems {
+		fmt.Println("PROBLEM:", p)
+	}
+	if len(problems) > 0 {
+		return fmt.Errorf("%d of %d records failed verification",
+			len(problems), st.Graphs+st.Partitions+st.Shortcuts)
+	}
+	fmt.Printf("store clean: %d records verified (%d graphs, %d partitions, %d shortcuts)\n",
+		st.Graphs+st.Partitions+st.Shortcuts, st.Graphs, st.Partitions, st.Shortcuts)
+	return nil
+}
+
+func runGC(s *store.Store) error {
+	before := s.OpenStats()
+	gc, err := s.GC()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("gc: %d live records kept (%d bytes), %d index entries dropped\n",
+		gc.LiveRecords, gc.LiveBytes, gc.DroppedRecords)
+	fmt.Printf("gc: reclaimed %d of %d bytes, %d segment(s) remain\n",
+		gc.ReclaimedBytes, before.Bytes, gc.Segments)
+	return nil
+}

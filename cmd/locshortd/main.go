@@ -1,23 +1,33 @@
 // Command locshortd is the shortcut-serving daemon: an HTTP JSON front end
-// over internal/service's concurrent engine and content-addressed cache.
+// over internal/service's concurrent engine and content-addressed cache,
+// optionally backed by the internal/store durable snapshot store.
 //
 // Usage:
 //
 //	locshortd [-addr 127.0.0.1:8080] [-workers N] [-cache N] [-queue N]
-//	          [-addrfile PATH] [-pprof ADDR]
+//	          [-data DIR] [-addrfile PATH] [-pprof ADDR]
 //
 // Endpoints:
 //
-//	POST /v1/graphs     ingest a graph (family spec or edge list) → fingerprint
-//	POST /v1/shortcuts  build-or-get a shortcut for (graph, partition, options)
-//	POST /v1/jobs       run mst | mincut | aggregate | measure
-//	GET  /v1/stats      engine counters, hit rate, uptime
-//	GET  /healthz       liveness
+//	POST   /v1/graphs      ingest a graph (family spec or edge list) → fingerprint
+//	GET    /v1/graphs      list registered graphs
+//	DELETE /v1/graphs/{fp} evict a graph everywhere: registration, cache, store
+//	POST   /v1/shortcuts   build-or-get a shortcut for (graph, partition, options)
+//	POST   /v1/jobs        run mst | mincut | aggregate | measure
+//	GET    /v1/stats       engine counters, hit rate, uptime
+//	GET    /healthz        liveness
+//
+// -data DIR makes the daemon durable: ingested graphs and built shortcuts
+// persist to the append-only store in DIR, the graph catalog warm-starts
+// on boot, and cache misses are served store-first — so a restart costs a
+// store read per shortcut instead of a rebuild stampede. See OPERATIONS.md
+// for the on-disk layout and the locshortctl runbook (backup, gc, verify).
 //
 // -addr :0 picks a free port; the bound address is printed on stdout and,
 // with -addrfile, written to PATH so scripts (CI, cmd/loadgen) can find
 // the daemon without racing for a port. SIGINT/SIGTERM drain in-flight
-// requests before exit.
+// requests before exit; pending store writes are flushed before the
+// process exits, so a clean shutdown never loses a completed build.
 //
 // -pprof ADDR serves net/http/pprof on a second listener (e.g.
 // -pprof 127.0.0.1:6060), kept off the API listener so profiling is never
@@ -43,6 +53,7 @@ import (
 	"time"
 
 	"locshort/internal/service"
+	"locshort/internal/store"
 )
 
 func main() {
@@ -59,15 +70,40 @@ func run() error {
 		queue    = flag.Int("queue", 0, "job queue depth (default 256)")
 		addrfile = flag.String("addrfile", "", "write the bound address to this file")
 		pprofA   = flag.String("pprof", "", "serve net/http/pprof on this address (empty: disabled)")
+		data     = flag.String("data", "", "durable store directory (empty: in-memory only)")
 	)
 	flag.Parse()
 
-	eng := service.New(service.Config{
+	cfg := service.Config{
 		Workers:       *workers,
 		CacheCapacity: *cacheCap,
 		QueueDepth:    *queue,
-	})
+	}
+	var st *store.Store
+	if *data != "" {
+		var err error
+		st, err = store.Open(*data, store.Options{})
+		if err != nil {
+			return fmt.Errorf("open store: %w", err)
+		}
+		defer st.Close()
+		cfg.Store = st
+	}
+	eng := service.New(cfg)
 	defer eng.Close()
+	if st != nil {
+		loaded, err := eng.WarmStart()
+		if err != nil {
+			return fmt.Errorf("warm start: %w", err)
+		}
+		ss := st.OpenStats()
+		log.Printf("locshortd: warm start from %s: %d graphs, %d shortcut records in %d segments (%d bytes)",
+			st.Dir(), loaded, ss.Shortcuts, ss.Segments, ss.Bytes)
+		if ss.CorruptSkipped > 0 || ss.TruncatedBytes > 0 {
+			log.Printf("locshortd: store repair on open: %d corrupt records skipped, %d bytes truncated",
+				ss.CorruptSkipped, ss.TruncatedBytes)
+		}
+	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {

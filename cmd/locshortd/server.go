@@ -40,6 +40,8 @@ func newServer(eng *service.Engine) http.Handler {
 	s := &server{eng: eng, start: time.Now()}
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/graphs", s.handleGraphs)
+	mux.HandleFunc("GET /v1/graphs", s.handleGraphList)
+	mux.HandleFunc("DELETE /v1/graphs/{fp}", s.handleGraphDelete)
 	mux.HandleFunc("POST /v1/shortcuts", s.handleShortcuts)
 	mux.HandleFunc("POST /v1/jobs", s.handleJobs)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
@@ -165,6 +167,39 @@ func graphFromEdges(nodes int, edges [][]float64) (*graph.Graph, error) {
 	return g, nil
 }
 
+// graphInfo is one row of the GET /v1/graphs listing.
+type graphInfo struct {
+	Graph string `json:"graph"`
+	Nodes int    `json:"nodes"`
+	Edges int    `json:"edges"`
+}
+
+func (s *server) handleGraphList(w http.ResponseWriter, r *http.Request) {
+	infos := s.eng.Graphs()
+	out := make([]graphInfo, len(infos))
+	for i, gi := range infos {
+		out[i] = graphInfo{Graph: gi.Fingerprint.String(), Nodes: gi.Nodes, Edges: gi.Edges}
+	}
+	writeJSON(w, map[string]any{"graphs": out})
+}
+
+// handleGraphDelete evicts a graph everywhere: the engine registration,
+// every resident cached shortcut built on it, and — when the daemon runs
+// with -data — the durable records (reclaimed by the next locshortctl gc).
+func (s *server) handleGraphDelete(w http.ResponseWriter, r *http.Request) {
+	fp, err := service.ParseFingerprint(r.PathValue("fp"))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	evicted, err := s.eng.RemoveGraph(fp)
+	if err != nil {
+		httpError(w, statusFor(err), err)
+		return
+	}
+	writeJSON(w, map[string]any{"graph": fp.String(), "evicted_shortcuts": evicted})
+}
+
 // shortcutRequest asks for a build-or-get of a shortcut on a registered
 // graph. The partition is given as an internal/cli spec plus seed or as an
 // explicit part list; options use the canonical internal/cli textual form.
@@ -177,9 +212,14 @@ type shortcutRequest struct {
 }
 
 type shortcutResponse struct {
-	Shortcut     string  `json:"shortcut"`
-	Graph        string  `json:"graph"`
-	Cached       bool    `json:"cached"`
+	Shortcut string `json:"shortcut"`
+	Graph    string `json:"graph"`
+	Cached   bool   `json:"cached"`
+	// Source is the latency class that served this response: "cache"
+	// (resident entry), "store" (reloaded from the durable store), or
+	// "built" (cold construction). Cached is true exactly when Source is
+	// "cache".
+	Source       string  `json:"source"`
 	BuildMillis  float64 `json:"build_ms"`
 	Delta        int     `json:"delta"`
 	Congestion   int     `json:"congestion"`
@@ -248,10 +288,15 @@ func (s *server) handleShortcuts(w http.ResponseWriter, r *http.Request) {
 		httpError(w, statusFor(err), err)
 		return
 	}
+	source := "cache"
+	if !hit {
+		source = c.Source.String()
+	}
 	writeJSON(w, shortcutResponse{
 		Shortcut:     c.Key.String(),
 		Graph:        c.GraphFP.String(),
 		Cached:       hit,
+		Source:       source,
 		BuildMillis:  float64(c.BuildTime.Microseconds()) / 1000,
 		Delta:        c.Result.Delta,
 		Congestion:   q.Congestion,

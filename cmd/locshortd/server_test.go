@@ -11,6 +11,7 @@ import (
 	"locshort/internal/cli"
 	"locshort/internal/graph"
 	"locshort/internal/service"
+	"locshort/internal/store"
 )
 
 // postJSON round-trips a JSON request against the test server, failing the
@@ -233,4 +234,189 @@ func TestAPIErrors(t *testing.T) {
 	postJSON(t, ts.URL+"/v1/shortcuts",
 		map[string]any{"graph": g.Graph, "partition": "singletons", "options": "zeta=1"},
 		http.StatusBadRequest, nil)
+}
+
+// getJSON decodes a GET endpoint.
+func getJSON(t *testing.T, url string, out any) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: status %d", url, resp.StatusCode)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRestartWarmStart is the restart-recovery e2e: a shortcut built before
+// the daemon goes down is served after a restart on the same data directory
+// without invoking Build at all — asserted through the engine Stats
+// counters — and with identical measured quality.
+func TestRestartWarmStart(t *testing.T) {
+	dir := t.TempDir()
+	st, err := store.Open(dir, store.Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := service.New(service.Config{Workers: 2, Store: st})
+	ts := httptest.NewServer(newServer(eng))
+
+	var g struct {
+		Graph string `json:"graph"`
+	}
+	postJSON(t, ts.URL+"/v1/graphs", map[string]any{"spec": "grid:12x12"}, http.StatusOK, &g)
+	build := map[string]any{"graph": g.Graph, "partition": "blobs:12", "seed": 5}
+	var s1 struct {
+		Shortcut   string `json:"shortcut"`
+		Source     string `json:"source"`
+		Congestion int    `json:"congestion"`
+		Dilation   int    `json:"dilation"`
+	}
+	postJSON(t, ts.URL+"/v1/shortcuts", build, http.StatusOK, &s1)
+	if s1.Source != "built" {
+		t.Fatalf("first build source = %q, want built", s1.Source)
+	}
+	// Clean shutdown: engine Close drains the detached store write.
+	ts.Close()
+	eng.Close()
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// "Restart": a fresh engine over the same directory.
+	st2, err := store.Open(dir, store.Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng2 := service.New(service.Config{Workers: 2, Store: st2})
+	defer func() {
+		eng2.Close()
+		st2.Close()
+	}()
+	if n, err := eng2.WarmStart(); err != nil || n != 1 {
+		t.Fatalf("WarmStart = (%d, %v), want (1, nil)", n, err)
+	}
+	ts2 := httptest.NewServer(newServer(eng2))
+	defer ts2.Close()
+
+	// The warm-started catalog lists the graph without re-ingesting.
+	var list struct {
+		Graphs []struct {
+			Graph string `json:"graph"`
+			Nodes int    `json:"nodes"`
+		} `json:"graphs"`
+	}
+	getJSON(t, ts2.URL+"/v1/graphs", &list)
+	if len(list.Graphs) != 1 || list.Graphs[0].Graph != g.Graph || list.Graphs[0].Nodes != 144 {
+		t.Fatalf("post-restart graph list = %+v, want the persisted 12x12 grid", list)
+	}
+
+	var s2 struct {
+		Shortcut   string `json:"shortcut"`
+		Cached     bool   `json:"cached"`
+		Source     string `json:"source"`
+		Congestion int    `json:"congestion"`
+		Dilation   int    `json:"dilation"`
+	}
+	postJSON(t, ts2.URL+"/v1/shortcuts", build, http.StatusOK, &s2)
+	if s2.Source != "store" || s2.Cached {
+		t.Errorf("post-restart source = %q (cached=%v), want a store hit", s2.Source, s2.Cached)
+	}
+	if s2.Shortcut != s1.Shortcut {
+		t.Errorf("post-restart key %s != pre-restart %s", s2.Shortcut, s1.Shortcut)
+	}
+	if s2.Congestion != s1.Congestion || s2.Dilation != s1.Dilation {
+		t.Errorf("post-restart quality (%d,%d) != pre-restart (%d,%d)",
+			s2.Congestion, s2.Dilation, s1.Congestion, s1.Dilation)
+	}
+	stats := eng2.Stats()
+	if stats.Builds != 0 {
+		t.Errorf("Builds = %d after restart, want 0 (no rebuild)", stats.Builds)
+	}
+	if stats.StoreHits != 1 {
+		t.Errorf("StoreHits = %d, want 1", stats.StoreHits)
+	}
+	// Second request for the same key is now a resident cache hit.
+	postJSON(t, ts2.URL+"/v1/shortcuts", build, http.StatusOK, &s2)
+	if s2.Source != "cache" || !s2.Cached {
+		t.Errorf("repeat request source = %q (cached=%v), want cache", s2.Source, s2.Cached)
+	}
+	// The store itself verifies clean.
+	if problems := st2.Verify(); len(problems) != 0 {
+		t.Errorf("store verify after restart: %v", problems)
+	}
+}
+
+// TestGraphListAndDelete exercises GET /v1/graphs and DELETE
+// /v1/graphs/{fp}: eviction empties the cache and the store, and the
+// fingerprint 404s afterwards.
+func TestGraphListAndDelete(t *testing.T) {
+	dir := t.TempDir()
+	st, err := store.Open(dir, store.Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := service.New(service.Config{Workers: 2, Store: st})
+	defer func() {
+		eng.Close()
+		st.Close()
+	}()
+	ts := httptest.NewServer(newServer(eng))
+	defer ts.Close()
+
+	var g struct {
+		Graph string `json:"graph"`
+	}
+	postJSON(t, ts.URL+"/v1/graphs", map[string]any{"spec": "grid:8x8"}, http.StatusOK, &g)
+	postJSON(t, ts.URL+"/v1/shortcuts",
+		map[string]any{"graph": g.Graph, "partition": "blobs:8"}, http.StatusOK, nil)
+
+	var del struct {
+		Evicted int `json:"evicted_shortcuts"`
+	}
+	req, err := http.NewRequest(http.MethodDelete, ts.URL+"/v1/graphs/"+g.Graph, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("DELETE: status %d", resp.StatusCode)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&del); err != nil {
+		t.Fatal(err)
+	}
+	if del.Evicted != 1 {
+		t.Errorf("evicted %d cached shortcuts, want 1", del.Evicted)
+	}
+	// Gone from the listing, from the engine, and from the store.
+	var list struct {
+		Graphs []any `json:"graphs"`
+	}
+	getJSON(t, ts.URL+"/v1/graphs", &list)
+	if len(list.Graphs) != 0 {
+		t.Errorf("graph list after delete = %+v, want empty", list.Graphs)
+	}
+	postJSON(t, ts.URL+"/v1/shortcuts",
+		map[string]any{"graph": g.Graph, "partition": "blobs:8"}, http.StatusNotFound, nil)
+	if ss := st.OpenStats(); ss.Graphs != 0 || ss.Shortcuts != 0 {
+		t.Errorf("store still holds %d graphs / %d shortcuts after delete", ss.Graphs, ss.Shortcuts)
+	}
+	// Deleting again: 404.
+	req2, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/graphs/"+g.Graph, nil)
+	resp2, err := http.DefaultClient.Do(req2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusNotFound {
+		t.Errorf("second DELETE: status %d, want 404", resp2.StatusCode)
+	}
 }

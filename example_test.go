@@ -1,0 +1,74 @@
+package locshort_test
+
+import (
+	"context"
+	"fmt"
+
+	"locshort"
+)
+
+// ExampleBuild runs the Theorem 3.1 construction with the parameter-free
+// doubling search on a planar grid partitioned into its rows, the
+// paper's canonical bounded-density instance.
+func ExampleBuild() {
+	g := locshort.Grid(8, 8)
+	p, _ := locshort.GridRows(g, 8, 8)
+	res, err := locshort.Build(g, p, locshort.BuildOptions{})
+	if err != nil {
+		fmt.Println("build failed:", err)
+		return
+	}
+	fmt.Println("accepted delta':", res.Delta)
+	fmt.Println("iterations:", res.Iterations)
+	fmt.Println("covered parts:", res.Shortcut.CoveredCount(), "of", p.NumParts())
+	// Output:
+	// accepted delta': 1
+	// iterations: 1
+	// covered parts: 8 of 8
+}
+
+// ExampleMeasure checks a built shortcut against the Theorem 1.2 quality
+// bounds: congestion and dilation are both O(delta * D) up to logs.
+func ExampleMeasure() {
+	g := locshort.Grid(8, 8)
+	p, _ := locshort.GridRows(g, 8, 8)
+	res, _ := locshort.Build(g, p, locshort.BuildOptions{})
+	q := locshort.Measure(res.Shortcut)
+	fmt.Println("congestion:", q.Congestion)
+	fmt.Println("dilation:", q.Dilation)
+	fmt.Println("max blocks:", q.MaxBlocks)
+	fmt.Println("quality Q = c + d:", q.Value())
+	// Output:
+	// congestion: 5
+	// dilation: 11
+	// max blocks: 1
+	// quality Q = c + d: 16
+}
+
+// ExampleNewServiceEngine exercises the serving layer in-process: register
+// a graph by content, build a shortcut once, and observe that the second
+// identical request is answered from the cache without rebuilding.
+func ExampleNewServiceEngine() {
+	eng := locshort.NewServiceEngine(locshort.ServiceConfig{Workers: 2})
+	defer eng.Close()
+
+	g := locshort.Grid(8, 8)
+	fp, _ := eng.AddGraph(g)
+	parts, _ := locshort.GridRows(g, 8, 8)
+	req := locshort.ServiceBuildRequest{Graph: fp, Parts: parts}
+
+	ctx := context.Background()
+	c1, hit1, _ := eng.Build(ctx, req)
+	c2, hit2, _ := eng.Build(ctx, req)
+
+	fmt.Println("first request hit:", hit1)
+	fmt.Println("second request hit:", hit2)
+	fmt.Println("same shortcut key:", c1.Key == c2.Key)
+	stats := eng.Stats()
+	fmt.Println("constructions run:", stats.Builds)
+	// Output:
+	// first request hit: false
+	// second request hit: true
+	// same shortcut key: true
+	// constructions run: 1
+}

@@ -1,8 +1,3 @@
-// Package bench is the experiment harness that regenerates every
-// quantitative claim of the paper: one registered experiment per theorem,
-// lemma, observation, corollary, and ablation, each emitting a table whose
-// rows are reproduced verbatim in EXPERIMENTS.md. cmd/shortcutbench and the
-// repository-level benchmarks are thin wrappers around this registry.
 package bench
 
 import (

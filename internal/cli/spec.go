@@ -1,8 +1,3 @@
-// Package cli holds helpers shared by the command-line tools and the
-// service layer: parsing graph-family specs like "grid:16x16" or
-// "ktree:200,4" into graphs, partition specs like "blobs:32" into
-// partitions, and the canonical textual form of shortcut build options
-// exchanged by locshortd and loadgen.
 package cli
 
 import (

@@ -1,13 +1,3 @@
-// Package graph provides the undirected-graph substrate used throughout the
-// repository: a compact adjacency representation with stable edge IDs,
-// breadth-first search, diameter computation, disjoint-set union, Kruskal
-// minimum spanning trees, Stoer-Wagner minimum cuts, and generators for every
-// graph family evaluated in the paper, including the Lemma 3.2 lower-bound
-// topology.
-//
-// Node IDs are dense integers in [0, NumNodes). Edge IDs are dense integers
-// in [0, NumEdges) and are stable across the lifetime of the graph; they are
-// the unit of congestion accounting for shortcuts.
 package graph
 
 import (

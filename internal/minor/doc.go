@@ -1,0 +1,14 @@
+// Package minor implements graph-minor machinery: branch-set mappings with
+// validation, minor density |E'|/|V'| (the central parameter δ(G) of the
+// paper, Lemma 1.1), a greedy contraction heuristic that lower-bounds δ(G),
+// and the analytic per-family density bounds of Lemma 3.3 (planar by Euler,
+// genus-g, treewidth-k).
+//
+// # Role in the DAG
+//
+// Depends only on internal/graph. internal/shortcut consumes it for the
+// certifying construction of the Section 3.1 remark (a failed δ' level
+// yields a dense bipartite minor witness, ExtractCertificate); the E9/E10
+// experiments in internal/bench compare greedy witnesses against the
+// analytic bounds; cmd/minorfind is its standalone driver.
+package minor

@@ -1,7 +1,3 @@
-// Package minor implements graph-minor machinery: branch-set mappings with
-// validation, minor density |E'|/|V'| (the central parameter delta(G) of the
-// paper), a greedy contraction heuristic that lower-bounds delta(G), and the
-// analytic per-family density bounds of Lemma 3.3.
 package minor
 
 import (

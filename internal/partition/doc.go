@@ -1,0 +1,19 @@
+// Package partition represents collections of node-disjoint, connected
+// vertex parts — the input of the part-wise aggregation problem
+// (Definition 2.1 of the paper) and of every shortcut construction.
+//
+// A partition need not cover all nodes: the paper's definitions only require
+// the parts to be disjoint and to induce connected subgraphs. Constructors
+// cover the partitions the experiments use (BFS-Voronoi blobs, grid rows,
+// the Section 2 wheel rim, singletons for Borůvka) plus FromLabels /
+// FromLabelsInto for label-array re-partitioning inside distributed
+// algorithm phases.
+//
+// # Role in the DAG
+//
+// Depends only on internal/graph. Everything that builds or serves
+// shortcuts (internal/shortcut, internal/dist, internal/service,
+// internal/store) consumes partitions; internal/service additionally
+// defines their canonical byte encoding (AppendPartitionCanonical) for
+// content addressing and persistence.
+package partition

@@ -1,9 +1,3 @@
-// Package partition represents collections of node-disjoint, connected
-// vertex parts — the input of the part-wise aggregation problem
-// (Definition 2.1 of the paper) and of every shortcut construction.
-//
-// A partition need not cover all nodes: the paper's definitions only require
-// the parts to be disjoint and to induce connected subgraphs.
 package partition
 
 import (

@@ -148,6 +148,32 @@ func (c *cache) peek(key Fingerprint) (*Cached, bool) {
 	return e.val, true
 }
 
+// removeGraph drops every resident completed entry whose shortcut was built
+// on graph fp and returns how many were removed. In-flight entries are left
+// to complete (their builders hold references the cache cannot revoke);
+// since the caller deregisters the graph first, no new builds for fp can
+// start, so a raced-in entry is unreachable and ages out of the LRU.
+func (c *cache) removeGraph(fp Fingerprint) int {
+	removed := 0
+	for _, s := range c.shards {
+		s.mu.Lock()
+		for key, e := range s.m {
+			select {
+			case <-e.ready:
+			default:
+				continue // in flight
+			}
+			if e.err == nil && e.val.GraphFP == fp {
+				s.lru.Remove(e.elem)
+				delete(s.m, key)
+				removed++
+			}
+		}
+		s.mu.Unlock()
+	}
+	return removed
+}
+
 // len returns the number of resident completed entries across all shards.
 func (c *cache) len() int {
 	n := 0

@@ -1,21 +1,3 @@
-// Package service is the concurrent shortcut-serving layer: a
-// content-addressed cache of built shortcuts in front of the centralized
-// construction, plus a bounded worker pool that executes build and query
-// jobs (MST, MinCut, part-wise aggregation, quality measurement) against
-// cached shortcuts.
-//
-// The paper's economics motivate the design: a shortcut is built once per
-// (graph, partition) and then amortized across many part-wise aggregation
-// rounds. The service makes that amortization explicit across *requests*:
-// graphs are registered by content fingerprint, shortcuts are addressed by
-// a key covering (graph, partition, build options), concurrent requests for
-// the same key collapse into exactly one construction (singleflight), and
-// completed constructions stay resident in a sharded LRU until evicted
-// under capacity pressure.
-//
-// cmd/locshortd exposes the engine over HTTP; cmd/loadgen drives it. See
-// DESIGN.md, "Service layer", for the fingerprinting scheme and the job
-// lifecycle.
 package service
 
 import (
@@ -23,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"sort"
 	"sync"
 	"time"
 
@@ -44,6 +27,12 @@ type Config struct {
 	CacheCapacity int
 	// CacheShards is rounded up to a power of two (default 16).
 	CacheShards int
+	// Store, when non-nil, makes builds durable: graphs persist on
+	// registration, built shortcuts persist after construction (detached,
+	// off the serving path), cache misses consult the store before
+	// rebuilding, and WarmStart re-registers every persisted graph on
+	// boot. A nil Store keeps the engine fully in-memory.
+	Store Store
 }
 
 func (c Config) withDefaults() Config {
@@ -88,8 +77,12 @@ type Cached struct {
 	// Result is the shortcut.Build outcome.
 	Result *shortcut.Result
 	// BuildTime is the wall-clock cost of the construction that populated
-	// this entry — what a cache hit saves.
+	// this entry — what a cache hit saves. For Source == SourceStore it is
+	// the recorded cost of the original construction, not of the load.
 	BuildTime time.Duration
+	// Source records whether this entry was built or loaded from the
+	// durable store.
+	Source BuildSource
 
 	qualityOnce sync.Once
 	quality     shortcut.Quality
@@ -137,6 +130,10 @@ type Engine struct {
 	// built shortcut is identical either way.
 	builders sync.Pool
 
+	// persists tracks detached store writes so Close can drain them: a
+	// build's durability must not be lost to a racing shutdown.
+	persists sync.WaitGroup
+
 	counters counters
 }
 
@@ -158,12 +155,15 @@ func New(cfg Config) *Engine {
 	return e
 }
 
-// Close stops the worker pool. In-flight jobs finish; queued and future
-// submissions fail with ErrClosed. Close is idempotent per engine lifetime
-// and must not be called twice.
+// Close stops the worker pool and drains detached store writes. In-flight
+// jobs finish; queued and future submissions fail with ErrClosed. Close is
+// idempotent per engine lifetime and must not be called twice. When a Store
+// is configured, every build that completed before Close returns is durably
+// persisted (or counted in Stats.StoreErrors).
 func (e *Engine) Close() {
 	close(e.quit)
 	e.wg.Wait()
+	e.persists.Wait()
 }
 
 // Stats returns an atomic snapshot of the engine counters.
@@ -189,11 +189,89 @@ func (e *Engine) AddGraph(g *graph.Graph) (Fingerprint, error) {
 	}
 	fp := FingerprintGraph(g)
 	e.mu.Lock()
-	if _, ok := e.graphs[fp]; !ok {
+	_, known := e.graphs[fp]
+	if !known {
 		e.graphs[fp] = g
 	}
 	e.mu.Unlock()
+	// Persist newly registered content synchronously: ingest is rare and
+	// cheap relative to builds, and answering only after the record is on
+	// disk means a fingerprint handed to a client survives a restart.
+	// Persistence failures are surfaced in Stats.StoreErrors, not to the
+	// caller — the in-memory registration above already succeeded.
+	if st := e.cfg.Store; st != nil && !known {
+		if err := st.PutGraph(fp, g); err != nil {
+			e.counters.storeErrs.Add(1)
+		}
+	}
 	return fp, nil
+}
+
+// WarmStart re-registers every graph persisted in the configured store and
+// returns how many were loaded. Shortcuts are deliberately not preloaded:
+// the store-first miss path of Build serves them lazily, so boot cost is
+// proportional to the graph catalog, not to the shortcut history, and the
+// LRU fills with what traffic actually asks for. Call once, before serving.
+func (e *Engine) WarmStart() (int, error) {
+	st := e.cfg.Store
+	if st == nil {
+		return 0, nil
+	}
+	loaded := 0
+	err := st.EachGraph(func(fp Fingerprint, g *graph.Graph) error {
+		e.mu.Lock()
+		if _, ok := e.graphs[fp]; !ok {
+			e.graphs[fp] = g
+			loaded++
+		}
+		e.mu.Unlock()
+		return nil
+	})
+	return loaded, err
+}
+
+// GraphInfo describes one registered graph for listings.
+type GraphInfo struct {
+	Fingerprint Fingerprint
+	Nodes       int
+	Edges       int
+}
+
+// Graphs lists the registered graphs sorted by fingerprint.
+func (e *Engine) Graphs() []GraphInfo {
+	e.mu.RLock()
+	out := make([]GraphInfo, 0, len(e.graphs))
+	for fp, g := range e.graphs {
+		out = append(out, GraphInfo{Fingerprint: fp, Nodes: g.NumNodes(), Edges: g.NumEdges()})
+	}
+	e.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Fingerprint < out[j].Fingerprint })
+	return out
+}
+
+// RemoveGraph evicts a graph everywhere: the registration, every resident
+// cached shortcut built on it, and (when a Store is configured) the durable
+// records. It returns the number of cached shortcuts evicted, or
+// ErrUnknownGraph if fp was never registered. A build in flight for the
+// graph when RemoveGraph is called may still complete and briefly re-enter
+// the cache; it can no longer be requested again (the registration is gone)
+// and ages out of the LRU like any cold entry.
+func (e *Engine) RemoveGraph(fp Fingerprint) (int, error) {
+	e.mu.Lock()
+	_, ok := e.graphs[fp]
+	delete(e.graphs, fp)
+	e.mu.Unlock()
+	if !ok {
+		return 0, ErrUnknownGraph
+	}
+	evicted := e.cache.removeGraph(fp)
+	if st := e.cfg.Store; st != nil {
+		if err := st.DeleteGraph(fp); err != nil {
+			e.counters.storeErrs.Add(1)
+			return evicted, err
+		}
+	}
+	return evicted, nil
 }
 
 // Graph returns the representative graph for fp.
@@ -320,6 +398,31 @@ func (e *Engine) Build(ctx context.Context, req BuildRequest) (c *Cached, hit bo
 		// individually via getOrBuild, while the construction itself runs
 		// to completion and warms the cache.
 		return submit(e, context.WithoutCancel(ctx), func(context.Context) (*Cached, error) {
+			// Store-first: a persisted build from a previous process (or
+			// one evicted from the LRU) is reloaded instead of rebuilt.
+			// This sits behind the singleflight, so a restart stampede on
+			// one key costs one store read, not N rebuilds. A failed load
+			// falls through to a fresh construction.
+			if st := e.cfg.Store; st != nil {
+				res, bt, ok, err := st.GetShortcut(key, g, req.Parts)
+				switch {
+				case err != nil:
+					e.counters.storeErrs.Add(1)
+				case ok:
+					e.counters.storeHits.Add(1)
+					return &Cached{
+						Key:       key,
+						GraphFP:   req.Graph,
+						G:         g,
+						Parts:     req.Parts,
+						Result:    res,
+						BuildTime: bt,
+						Source:    SourceStore,
+					}, nil
+				default:
+					e.counters.storeMisses.Add(1)
+				}
+			}
 			bld := e.builders.Get().(*shortcut.Builder)
 			defer e.builders.Put(bld)
 			start := time.Now()
@@ -331,14 +434,32 @@ func (e *Engine) Build(ctx context.Context, req BuildRequest) (c *Cached, hit bo
 			d := time.Since(start)
 			e.counters.builds.Add(1)
 			e.counters.buildNs.Add(d.Nanoseconds())
-			return &Cached{
+			c := &Cached{
 				Key:       key,
 				GraphFP:   req.Graph,
 				G:         g,
 				Parts:     req.Parts,
 				Result:    res,
 				BuildTime: d,
-			}, nil
+				Source:    SourceBuilt,
+			}
+			if st := e.cfg.Store; st != nil {
+				// Persist detached, like the build itself: the caller's
+				// response is not delayed by the fsync, the write happens
+				// exactly once per construction (we are behind the
+				// singleflight), and Close drains the WaitGroup so a
+				// clean shutdown never loses a completed build.
+				e.persists.Add(1)
+				go func() {
+					defer e.persists.Done()
+					if err := st.PutShortcut(key, req.Graph, req.Parts, req.Options, res, d); err != nil {
+						e.counters.storeErrs.Add(1)
+					} else {
+						e.counters.storeWrites.Add(1)
+					}
+				}()
+			}
+			return c, nil
 		})
 	})
 }

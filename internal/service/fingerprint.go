@@ -47,6 +47,12 @@ func hashBytes(b []byte) Fingerprint {
 	return Fingerprint(h.Sum64())
 }
 
+// FingerprintBytes hashes an already-canonical byte encoding. It exists for
+// layers that persist the canonical encodings themselves (internal/store)
+// and need to re-derive the content address from the stored bytes without
+// first decoding them into an object.
+func FingerprintBytes(b []byte) Fingerprint { return hashBytes(b) }
+
 // FingerprintGraph fingerprints a graph over its canonical encoding
 // (graph.AppendCanonical): node count plus the sorted multiset of
 // normalized weighted edges.
@@ -54,11 +60,14 @@ func FingerprintGraph(g *graph.Graph) Fingerprint {
 	return hashBytes(g.AppendCanonical(nil))
 }
 
-// appendPartitionCanonical encodes a partition as the per-node part
-// assignment with part labels canonicalized by first appearance over nodes
-// 0..n-1, so the encoding is invariant under part reordering and node-order
-// permutations within a part.
-func appendPartitionCanonical(b []byte, p *partition.Partition) []byte {
+// AppendPartitionCanonical appends the canonical binary encoding of a
+// partition to b: node count, part count, then the per-node part assignment
+// with part labels canonicalized by first appearance over nodes 0..n-1, so
+// the encoding is invariant under part reordering and node-order
+// permutations within a part. It is the partition counterpart of
+// graph.AppendCanonical and doubles as the on-disk partition payload of
+// internal/store.
+func AppendPartitionCanonical(b []byte, p *partition.Partition) []byte {
 	relabel := make(map[int]uint64, p.NumParts())
 	b = binary.BigEndian.AppendUint64(b, uint64(len(p.PartOf)))
 	b = binary.BigEndian.AppendUint64(b, uint64(p.NumParts()))
@@ -80,7 +89,7 @@ func appendPartitionCanonical(b []byte, p *partition.Partition) []byte {
 // FingerprintPartition fingerprints a partition's canonical part
 // assignment.
 func FingerprintPartition(p *partition.Partition) Fingerprint {
-	return hashBytes(appendPartitionCanonical(nil, p))
+	return hashBytes(AppendPartitionCanonical(nil, p))
 }
 
 // appendOptionsCanonical encodes the shortcut.Options fields that determine
@@ -100,7 +109,7 @@ func appendOptionsCanonical(b []byte, o shortcut.Options) []byte {
 // share a key exactly when Build would produce the same shortcut for both.
 func ShortcutKey(g Fingerprint, p *partition.Partition, o shortcut.Options) Fingerprint {
 	b := binary.BigEndian.AppendUint64(nil, uint64(g))
-	b = appendPartitionCanonical(b, p)
+	b = AppendPartitionCanonical(b, p)
 	b = appendOptionsCanonical(b, o)
 	return hashBytes(b)
 }

@@ -465,3 +465,192 @@ func TestMeasureCachedSurvivesEviction(t *testing.T) {
 		t.Errorf("quality covers %d parts, want %d", q.CoveredParts, p.NumParts())
 	}
 }
+
+// stubStore is an in-memory service.Store for engine-integration tests,
+// independent of the real internal/store implementation (which has its own
+// suite plus an httptest e2e in cmd/locshortd).
+type stubStore struct {
+	mu        sync.Mutex
+	graphs    map[Fingerprint]*graph.Graph
+	shortcuts map[Fingerprint]*shortcut.Result
+	times     map[Fingerprint]time.Duration
+	puts      int
+	gets      int
+	failPuts  bool
+}
+
+func newStubStore() *stubStore {
+	return &stubStore{
+		graphs:    make(map[Fingerprint]*graph.Graph),
+		shortcuts: make(map[Fingerprint]*shortcut.Result),
+		times:     make(map[Fingerprint]time.Duration),
+	}
+}
+
+func (s *stubStore) PutGraph(fp Fingerprint, g *graph.Graph) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.graphs[fp] = g
+	return nil
+}
+
+func (s *stubStore) EachGraph(fn func(Fingerprint, *graph.Graph) error) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for fp, g := range s.graphs {
+		if err := fn(fp, g); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (s *stubStore) PutShortcut(key, graphFP Fingerprint, parts *partition.Partition,
+	opts shortcut.Options, res *shortcut.Result, buildTime time.Duration) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.puts++
+	if s.failPuts {
+		return errors.New("stub: put failed")
+	}
+	s.shortcuts[key] = res
+	s.times[key] = buildTime
+	return nil
+}
+
+func (s *stubStore) GetShortcut(key Fingerprint, g *graph.Graph, parts *partition.Partition) (
+	*shortcut.Result, time.Duration, bool, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.gets++
+	res, ok := s.shortcuts[key]
+	if !ok {
+		return nil, 0, false, nil
+	}
+	return res, s.times[key], true, nil
+}
+
+func (s *stubStore) DeleteGraph(fp Fingerprint) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.graphs, fp)
+	return nil
+}
+
+// TestEngineStorePersistAndWarmStart drives the full durability cycle
+// through the engine against the stub: persist on build, warm-start a
+// second engine, serve the key store-first without rebuilding.
+func TestEngineStorePersistAndWarmStart(t *testing.T) {
+	st := newStubStore()
+	g, p := testGraph(t)
+
+	e1 := New(Config{Workers: 2, Store: st})
+	fp, err := e1.AddGraph(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c1, _, err := e1.Build(context.Background(), BuildRequest{Graph: fp, Parts: p})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c1.Source != SourceBuilt {
+		t.Errorf("first build source = %v, want SourceBuilt", c1.Source)
+	}
+	e1.Close() // drains the detached persist
+	if st.puts != 1 {
+		t.Fatalf("store saw %d shortcut puts, want 1", st.puts)
+	}
+	s1 := e1.Stats()
+	if s1.StoreWrites != 1 || s1.StoreMisses != 1 || s1.StoreHits != 0 {
+		t.Errorf("first engine store stats = writes %d misses %d hits %d, want 1/1/0",
+			s1.StoreWrites, s1.StoreMisses, s1.StoreHits)
+	}
+
+	e2 := newTestEngine(t, Config{Workers: 2, Store: st})
+	n, err := e2.WarmStart()
+	if err != nil || n != 1 {
+		t.Fatalf("WarmStart = (%d, %v), want (1, nil)", n, err)
+	}
+	if infos := e2.Graphs(); len(infos) != 1 || infos[0].Fingerprint != fp {
+		t.Fatalf("Graphs() after warm start = %+v", infos)
+	}
+	c2, hit, err := e2.Build(context.Background(), BuildRequest{Graph: fp, Parts: p})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hit || c2.Source != SourceStore {
+		t.Errorf("post-restart build hit=%v source=%v, want miss served from store", hit, c2.Source)
+	}
+	if c2.BuildTime != c1.BuildTime {
+		t.Errorf("store hit BuildTime %v, want original %v", c2.BuildTime, c1.BuildTime)
+	}
+	s2 := e2.Stats()
+	if s2.Builds != 0 || s2.StoreHits != 1 {
+		t.Errorf("post-restart stats: builds %d store hits %d, want 0 and 1", s2.Builds, s2.StoreHits)
+	}
+	// Now resident: the next request is a cache hit, no store read.
+	gets := st.gets
+	if _, hit, _ := e2.Build(context.Background(), BuildRequest{Graph: fp, Parts: p}); !hit {
+		t.Error("second post-restart request not a cache hit")
+	}
+	if st.gets != gets {
+		t.Error("cache hit consulted the store")
+	}
+}
+
+// TestEngineRemoveGraph asserts RemoveGraph evicts the registration, the
+// cached shortcuts, and the store records, and 404s afterwards.
+func TestEngineRemoveGraph(t *testing.T) {
+	st := newStubStore()
+	e := newTestEngine(t, Config{Workers: 2, Store: st})
+	g, p := testGraph(t)
+	fp, _ := e.AddGraph(g)
+	if _, _, err := e.Build(context.Background(), BuildRequest{Graph: fp, Parts: p}); err != nil {
+		t.Fatal(err)
+	}
+	evicted, err := e.RemoveGraph(fp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if evicted != 1 {
+		t.Errorf("evicted %d cached shortcuts, want 1", evicted)
+	}
+	if _, ok := e.Graph(fp); ok {
+		t.Error("graph still registered after RemoveGraph")
+	}
+	if len(e.Graphs()) != 0 {
+		t.Error("Graphs() not empty after RemoveGraph")
+	}
+	st.mu.Lock()
+	_, inStore := st.graphs[fp]
+	st.mu.Unlock()
+	if inStore {
+		t.Error("store still holds the graph after RemoveGraph")
+	}
+	if _, err := e.RemoveGraph(fp); !errors.Is(err, ErrUnknownGraph) {
+		t.Errorf("second RemoveGraph = %v, want ErrUnknownGraph", err)
+	}
+	if _, _, err := e.Build(context.Background(), BuildRequest{Graph: fp, Parts: p}); !errors.Is(err, ErrUnknownGraph) {
+		t.Errorf("build after removal = %v, want ErrUnknownGraph", err)
+	}
+	if e.Stats().CachedEntries != 0 {
+		t.Error("cache not empty after RemoveGraph")
+	}
+}
+
+// TestEngineStoreWriteFailureCounted asserts persistence failures are
+// observable in Stats but never fail the build.
+func TestEngineStoreWriteFailureCounted(t *testing.T) {
+	st := newStubStore()
+	st.failPuts = true
+	e := New(Config{Workers: 2, Store: st})
+	g, p := testGraph(t)
+	fp, _ := e.AddGraph(g)
+	if _, _, err := e.Build(context.Background(), BuildRequest{Graph: fp, Parts: p}); err != nil {
+		t.Fatalf("build failed on store write error: %v", err)
+	}
+	e.Close()
+	if s := e.Stats(); s.StoreErrors != 1 || s.StoreWrites != 0 {
+		t.Errorf("store stats = errors %d writes %d, want 1 and 0", s.StoreErrors, s.StoreWrites)
+	}
+}

@@ -18,6 +18,11 @@ type counters struct {
 	jobNs        atomic.Int64
 	queueDepth   atomic.Int64
 	running      atomic.Int64
+
+	storeHits   atomic.Uint64
+	storeMisses atomic.Uint64
+	storeWrites atomic.Uint64
+	storeErrs   atomic.Uint64
 }
 
 // Stats is an atomic snapshot of the engine's counters, safe to read while
@@ -47,6 +52,17 @@ type Stats struct {
 	QueueDepth   int64  `json:"queue_depth"`
 	RunningJobs  int64  `json:"running_jobs"`
 
+	// Durable-store counters, all zero when no Store is configured.
+	// StoreHits counts cache misses served from the store without a
+	// rebuild (the warm-start path); StoreMisses counts misses that went
+	// on to build; StoreWrites counts persisted builds; StoreErrors counts
+	// failed store reads and writes (persistence is best-effort — alert on
+	// this counter).
+	StoreHits   uint64 `json:"store_hits"`
+	StoreMisses uint64 `json:"store_misses"`
+	StoreWrites uint64 `json:"store_writes"`
+	StoreErrors uint64 `json:"store_errors"`
+
 	// Graphs is the number of distinct graphs registered.
 	Graphs int `json:"graphs"`
 }
@@ -74,6 +90,10 @@ func (c *counters) snapshot() Stats {
 		JobTotalNs:     c.jobNs.Load(),
 		QueueDepth:     c.queueDepth.Load(),
 		RunningJobs:    c.running.Load(),
+		StoreHits:      c.storeHits.Load(),
+		StoreMisses:    c.storeMisses.Load(),
+		StoreWrites:    c.storeWrites.Load(),
+		StoreErrors:    c.storeErrs.Load(),
 	}
 	if s.Builds > 0 {
 		s.AvgBuildNanos = s.BuildTotalNs / int64(s.Builds)

@@ -1,0 +1,71 @@
+package service
+
+import (
+	"time"
+
+	"locshort/internal/graph"
+	"locshort/internal/partition"
+	"locshort/internal/shortcut"
+)
+
+// Store is the durable snapshot store the engine optionally persists to and
+// warm-starts from (Config.Store). internal/store provides the on-disk
+// implementation; the interface lives here so the dependency points
+// downward (store imports service for the fingerprint scheme, never the
+// other way around).
+//
+// The contract mirrors the engine's content addressing exactly: graphs are
+// keyed by FingerprintGraph, built shortcuts by ShortcutKey over
+// (graph, partition, options). All methods must be safe for concurrent use;
+// the engine calls PutShortcut from detached goroutines and GetShortcut
+// from worker-pool jobs.
+type Store interface {
+	// PutGraph persists g under fp (a FingerprintGraph of g). Re-putting
+	// known content must be a cheap no-op.
+	PutGraph(fp Fingerprint, g *graph.Graph) error
+
+	// EachGraph calls fn for every live graph record. A non-nil error from
+	// fn aborts the iteration and is returned. Used by Engine.WarmStart.
+	EachGraph(fn func(fp Fingerprint, g *graph.Graph) error) error
+
+	// PutShortcut persists a built shortcut under its key, together with
+	// the partition it covers, the options that produced it, and the
+	// wall-clock build cost (what a future warm start saves).
+	PutShortcut(key, graphFP Fingerprint, parts *partition.Partition,
+		opts shortcut.Options, res *shortcut.Result, buildTime time.Duration) error
+
+	// GetShortcut loads the shortcut stored under key, reconstructed
+	// against g (the engine's representative graph for the record's graph
+	// fingerprint) and parts (the requested partition; same key implies
+	// the same canonical partition). ok is false when no record exists;
+	// a record that exists but fails validation returns an error.
+	GetShortcut(key Fingerprint, g *graph.Graph, parts *partition.Partition) (
+		res *shortcut.Result, buildTime time.Duration, ok bool, err error)
+
+	// DeleteGraph durably removes the graph record for fp and every
+	// shortcut record built on it. Deleting an absent graph is a no-op.
+	DeleteGraph(fp Fingerprint) error
+}
+
+// BuildSource records how a Cached entry materialized: by running the
+// construction, or by loading a persisted build from the durable store.
+// Together with Engine.Build's hit flag this classifies every response into
+// the three latency classes the load generator reports: cache (resident),
+// store (warm start), built (cold construction).
+type BuildSource uint8
+
+const (
+	// SourceBuilt marks an entry produced by running shortcut.Build.
+	SourceBuilt BuildSource = iota
+	// SourceStore marks an entry loaded from the durable store without
+	// rebuilding.
+	SourceStore
+)
+
+// String returns the wire form used in the locshortd shortcut response.
+func (s BuildSource) String() string {
+	if s == SourceStore {
+		return "store"
+	}
+	return "built"
+}

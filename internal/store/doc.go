@@ -1,0 +1,32 @@
+// Package store is the durable snapshot store behind locshortd's -data
+// flag: a content-addressed, append-only segment log that persists graphs,
+// partitions, and built shortcuts under the service layer's 64-bit
+// fingerprints, so the ~50x warm-over-cold advantage of the shortcut cache
+// survives restarts instead of being rebuilt in a cold-build stampede.
+//
+// The design leans on the same observation the serving layer does
+// (DESIGN.md §4, following the shortcut-framework treatment of
+// Ghaffari–Haeupler, PODC 2021): a shortcut is a pure function of
+// (graph, partition, build options), so its content address is a durable
+// identity. Graph and partition payloads are exactly the canonical byte
+// encodings their fingerprints hash (graph.AppendCanonical,
+// service.AppendPartitionCanonical) — the store is self-verifying: FNV-1a
+// over the payload is the record key. Shortcut payloads express every edge
+// ID in canonical edge order so they decode correctly against whatever
+// representative graph a future process holds.
+//
+// Durability model: framed records with CRC-32C checksums appended to
+// numbered segment files, fsync per append, newest-record-wins replay,
+// tombstones for graph deletion, torn-tail truncation and corrupt-record
+// skipping on open, and write-tmp-then-rename compaction (GC). See the
+// format comment in store.go and OPERATIONS.md for the operator runbook
+// (locshortctl ls / inspect / verify / gc).
+//
+// # Role in the DAG
+//
+// Depends on internal/graph, internal/partition, internal/tree,
+// internal/shortcut, and internal/service (for the fingerprint scheme and
+// the Store interface it implements — the interface lives in service so
+// the dependency points downward). Consumed by cmd/locshortd and
+// cmd/locshortctl.
+package store

@@ -1,0 +1,994 @@
+package store
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+
+	"locshort/internal/graph"
+	"locshort/internal/partition"
+	"locshort/internal/service"
+	"locshort/internal/shortcut"
+)
+
+// On-disk layout. A store directory holds numbered append-only segment
+// files:
+//
+//	<dir>/000001.seg
+//	<dir>/000002.seg
+//	...
+//
+// Each segment starts with an 8-byte magic ("LSSTOR01") and then a sequence
+// of framed records:
+//
+//	offset  size  field
+//	0       1     kind: 'G' graph, 'P' partition, 'S' shortcut,
+//	              'T' graph tombstone
+//	1       8     key (big-endian content fingerprint)
+//	9       4     payload length (big-endian)
+//	13      4     CRC-32C over kind ‖ key ‖ length ‖ payload
+//	17      n     payload (see encode.go)
+//
+// Records are appended to the highest-numbered segment and fsynced (unless
+// Options.NoSync); a segment past Options.SegmentBytes is retired and a new
+// one started. The newest record for a (kind, key) pair wins on replay, and
+// a tombstone hides the graph record and every shortcut record whose
+// payload references that graph fingerprint. Compaction (GC) rewrites the
+// live records into a fresh segment via write-tmp-then-rename and deletes
+// the old files afterwards, so a crash at any point leaves either the old
+// set, both (replayed old-to-new to the same index), or the new set.
+//
+// Crash tolerance on open: a record that extends past the end of the last
+// segment — the signature of a crash mid-append — is truncated away, and a
+// record whose checksum does not match its frame is skipped (the frame
+// length still locates the next record). Both are counted in OpenStats.
+const (
+	segMagic     = "LSSTOR01"
+	frameHdrSize = 17
+
+	kindGraph     = 'G'
+	kindPartition = 'P'
+	kindShortcut  = 'S'
+	kindTombstone = 'T'
+)
+
+// maxRecordBytes bounds a single record frame; anything larger is treated
+// as corruption rather than allocated.
+const maxRecordBytes = 1 << 31
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// Options tunes a Store. The zero value selects production defaults.
+type Options struct {
+	// SegmentBytes retires the active segment once it grows past this
+	// size (default 64 MiB).
+	SegmentBytes int64
+	// NoSync skips the fsync after each append. Throughput for
+	// durability: a crash can lose recently acknowledged records, but
+	// never corrupts what an earlier sync made durable. Tests and bulk
+	// imports use it; daemons should not.
+	NoSync bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.SegmentBytes <= 0 {
+		o.SegmentBytes = 64 << 20
+	}
+	return o
+}
+
+// OpenStats reports what Open found and repaired.
+type OpenStats struct {
+	// Segments is the number of segment files.
+	Segments int
+	// Graphs, Partitions, Shortcuts count live records by kind.
+	Graphs, Partitions, Shortcuts int
+	// Bytes is the total size of all segment files.
+	Bytes int64
+	// CorruptSkipped counts records dropped for checksum mismatch.
+	CorruptSkipped int
+	// TruncatedBytes counts bytes cut off a torn segment tail.
+	TruncatedBytes int64
+	// TombstonesApplied counts graph tombstones replayed.
+	TombstonesApplied int
+}
+
+type indexKey struct {
+	kind byte
+	key  service.Fingerprint
+}
+
+// recordRef locates a live record inside a segment.
+type recordRef struct {
+	seg     int
+	off     int64
+	size    int64               // full frame size including header
+	graphFP service.Fingerprint // dependency, shortcut records only
+	partFP  service.Fingerprint // dependency, shortcut records only
+}
+
+type segment struct {
+	seq  int
+	f    *os.File
+	size int64
+}
+
+// Store is a content-addressed, append-only snapshot store for graphs,
+// partitions, and built shortcuts, durably keyed by the service layer's
+// 64-bit fingerprints. It implements service.Store. All methods are safe
+// for concurrent use; a directory must be owned by one Store at a time
+// (run locshortctl against a stopped daemon or a copied directory).
+type Store struct {
+	dir  string
+	opts Options
+
+	// writeMu serializes all mutations (appends, deletes, GC, Close) and
+	// is held across disk writes and fsyncs. mu guards the in-memory
+	// index, segment table, and sizes, and is held only for short
+	// critical sections — never across a sync — so store-first cache-miss
+	// reads (GetShortcut) are not stalled behind other requests'
+	// persistence. Lock order: writeMu before mu.
+	writeMu sync.Mutex
+
+	mu      sync.RWMutex
+	segs    map[int]*segment
+	active  *segment
+	index   map[indexKey]recordRef
+	byGraph map[service.Fingerprint]map[service.Fingerprint]struct{} // graphFP -> shortcut keys
+	open    OpenStats
+
+	// perms memoizes canonical edge permutations per graph *instance* —
+	// deliberately not per fingerprint: two representations of the same
+	// content (a live representative and its canonical decode, or a
+	// re-ingest after DeleteGraph with a different edge order) share a
+	// fingerprint but need different permutations, and a fingerprint key
+	// would silently serve the wrong one. The map is cleared past a size
+	// bound so transient graphs (Verify decodes) cannot grow it forever.
+	permMu sync.Mutex
+	perms  map[*graph.Graph]*edgePerm
+}
+
+// permCacheLimit bounds the perm memo; engines pin far fewer
+// representatives than this, so clearing only ever drops transient
+// entries.
+const permCacheLimit = 256
+
+var _ service.Store = (*Store)(nil)
+
+// Open opens (creating if necessary) the store rooted at dir, replaying
+// every segment into the in-memory index and repairing a torn tail.
+func Open(dir string, opts Options) (*Store, error) {
+	opts = opts.withDefaults()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	s := &Store{
+		dir:     dir,
+		opts:    opts,
+		segs:    make(map[int]*segment),
+		index:   make(map[indexKey]recordRef),
+		byGraph: make(map[service.Fingerprint]map[service.Fingerprint]struct{}),
+		perms:   make(map[*graph.Graph]*edgePerm),
+	}
+	seqs, err := listSegments(dir)
+	if err != nil {
+		return nil, err
+	}
+	for _, seq := range seqs {
+		if err := s.replaySegment(seq); err != nil {
+			s.closeLocked()
+			return nil, err
+		}
+	}
+	if len(seqs) > 0 {
+		last := s.segs[seqs[len(seqs)-1]]
+		if last.size < opts.SegmentBytes {
+			s.active = last
+		}
+	}
+	if s.active == nil {
+		next := 1
+		if len(seqs) > 0 {
+			next = seqs[len(seqs)-1] + 1
+		}
+		if err := s.startSegment(next); err != nil {
+			s.closeLocked()
+			return nil, err
+		}
+	}
+	s.recount()
+	return s, nil
+}
+
+// listSegments returns the segment sequence numbers in dir, ascending.
+func listSegments(dir string) ([]int, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var seqs []int
+	for _, e := range entries {
+		var seq int
+		if _, err := fmt.Sscanf(e.Name(), "%06d.seg", &seq); err == nil &&
+			e.Name() == segName(seq) && seq > 0 {
+			seqs = append(seqs, seq)
+		}
+	}
+	sort.Ints(seqs)
+	return seqs, nil
+}
+
+func segName(seq int) string { return fmt.Sprintf("%06d.seg", seq) }
+
+func (s *Store) segPath(seq int) string { return filepath.Join(s.dir, segName(seq)) }
+
+// startSegment creates a fresh active segment with the file header.
+// Caller holds writeMu (or is Open's single-threaded setup); the brief
+// index-map mutation takes mu itself.
+func (s *Store) startSegment(seq int) error {
+	f, err := os.OpenFile(s.segPath(seq), os.O_RDWR|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write([]byte(segMagic)); err != nil {
+		f.Close()
+		return err
+	}
+	if !s.opts.NoSync {
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return err
+		}
+		syncDir(s.dir)
+	}
+	seg := &segment{seq: seq, f: f, size: int64(len(segMagic))}
+	s.mu.Lock()
+	s.segs[seq] = seg
+	s.active = seg
+	s.mu.Unlock()
+	return nil
+}
+
+// syncDir best-effort fsyncs a directory so created/renamed files are
+// durable; not all platforms support it, so errors are ignored.
+func syncDir(dir string) {
+	if d, err := os.Open(dir); err == nil {
+		d.Sync()
+		d.Close()
+	}
+}
+
+// replaySegment reads one segment into the index, truncating a torn tail
+// and skipping checksum-corrupt records.
+func (s *Store) replaySegment(seq int) error {
+	f, err := os.OpenFile(s.segPath(seq), os.O_RDWR, 0)
+	if err != nil {
+		return err
+	}
+	seg := &segment{seq: seq, f: f}
+	s.segs[seq] = seg
+	info, err := f.Stat()
+	if err != nil {
+		return err
+	}
+	size := info.Size()
+	if size == 0 {
+		// Crash between segment creation and header write: finish the job.
+		if _, err := f.Write([]byte(segMagic)); err != nil {
+			return err
+		}
+		seg.size = int64(len(segMagic))
+		return nil
+	}
+	hdr := make([]byte, len(segMagic))
+	if _, err := io.ReadFull(f, hdr); err != nil || string(hdr) != segMagic {
+		return fmt.Errorf("store: %s: not a segment file (bad magic)", segName(seq))
+	}
+	off := int64(len(segMagic))
+	frame := make([]byte, frameHdrSize)
+	truncate := func() error {
+		s.open.TruncatedBytes += size - off
+		if err := f.Truncate(off); err != nil {
+			return err
+		}
+		seg.size = off
+		return nil
+	}
+	for off < size {
+		if size-off < frameHdrSize {
+			return truncate()
+		}
+		if _, err := f.ReadAt(frame, off); err != nil {
+			return err
+		}
+		plen := int64(binary.BigEndian.Uint32(frame[9:]))
+		total := frameHdrSize + plen
+		if total > maxRecordBytes || off+total > size {
+			// A frame that runs past the end of the file is a torn append;
+			// an absurd length means the header itself is torn. Either
+			// way nothing after this point is trustworthy.
+			return truncate()
+		}
+		payload := make([]byte, plen)
+		if _, err := f.ReadAt(payload, off+frameHdrSize); err != nil {
+			return err
+		}
+		crc := crc32.Checksum(frame[:9], crcTable)
+		crc = crc32.Update(crc, crcTable, frame[9:13])
+		crc = crc32.Update(crc, crcTable, payload)
+		if crc != binary.BigEndian.Uint32(frame[13:]) {
+			s.open.CorruptSkipped++
+			off += total
+			continue
+		}
+		kind := frame[0]
+		key := service.Fingerprint(binary.BigEndian.Uint64(frame[1:]))
+		ref := recordRef{seg: seq, off: off, size: total}
+		switch kind {
+		case kindTombstone:
+			s.applyTombstone(key)
+			s.open.TombstonesApplied++
+		case kindShortcut:
+			meta, err := parseShortcutMeta(payload)
+			if err != nil {
+				s.open.CorruptSkipped++
+			} else {
+				ref.graphFP, ref.partFP = meta.graphFP, meta.partFP
+				s.indexPut(kind, key, ref)
+			}
+		case kindGraph, kindPartition:
+			s.indexPut(kind, key, ref)
+		default:
+			s.open.CorruptSkipped++
+		}
+		off += total
+	}
+	seg.size = size
+	return nil
+}
+
+// indexPut installs a live record, newest-wins.
+func (s *Store) indexPut(kind byte, key service.Fingerprint, ref recordRef) {
+	ik := indexKey{kind: kind, key: key}
+	if old, ok := s.index[ik]; ok && kind == kindShortcut {
+		s.dropShortcutDep(old.graphFP, key)
+	}
+	s.index[ik] = ref
+	if kind == kindShortcut {
+		deps := s.byGraph[ref.graphFP]
+		if deps == nil {
+			deps = make(map[service.Fingerprint]struct{})
+			s.byGraph[ref.graphFP] = deps
+		}
+		deps[key] = struct{}{}
+	}
+}
+
+func (s *Store) dropShortcutDep(graphFP, key service.Fingerprint) {
+	if deps := s.byGraph[graphFP]; deps != nil {
+		delete(deps, key)
+		if len(deps) == 0 {
+			delete(s.byGraph, graphFP)
+		}
+	}
+}
+
+// applyTombstone removes a graph and its dependent shortcuts from the
+// index.
+func (s *Store) applyTombstone(graphFP service.Fingerprint) {
+	delete(s.index, indexKey{kind: kindGraph, key: graphFP})
+	for key := range s.byGraph[graphFP] {
+		delete(s.index, indexKey{kind: kindShortcut, key: key})
+	}
+	delete(s.byGraph, graphFP)
+}
+
+// recount refreshes the by-kind counters in OpenStats.
+func (s *Store) recount() {
+	s.open.Segments = len(s.segs)
+	s.open.Graphs, s.open.Partitions, s.open.Shortcuts = 0, 0, 0
+	s.open.Bytes = 0
+	for _, seg := range s.segs {
+		s.open.Bytes += seg.size
+	}
+	for ik := range s.index {
+		switch ik.kind {
+		case kindGraph:
+			s.open.Graphs++
+		case kindPartition:
+			s.open.Partitions++
+		case kindShortcut:
+			s.open.Shortcuts++
+		}
+	}
+}
+
+// OpenStats returns what Open found, with record counts kept current as
+// the store is written.
+func (s *Store) OpenStats() OpenStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.recount()
+	return s.open
+}
+
+// Dir returns the store's root directory.
+func (s *Store) Dir() string { return s.dir }
+
+// Close releases every segment file handle. Appended records are already
+// on disk (and fsynced unless NoSync); Close never loses data.
+func (s *Store) Close() error {
+	s.writeMu.Lock()
+	defer s.writeMu.Unlock()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.closeLocked()
+}
+
+func (s *Store) closeLocked() error {
+	var first error
+	for _, seg := range s.segs {
+		if err := seg.f.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	s.segs = make(map[int]*segment)
+	s.active = nil
+	return first
+}
+
+// appendRecord frames and durably writes one record to the active segment
+// and installs it in the index. Caller holds writeMu (which serializes all
+// writers); mu is taken only for the in-memory installation, never across
+// the disk write or fsync, so concurrent readers are not stalled by
+// persistence.
+func (s *Store) appendRecord(kind byte, key service.Fingerprint, payload []byte) error {
+	s.mu.RLock()
+	seg := s.active
+	s.mu.RUnlock()
+	if seg == nil {
+		return errors.New("store: closed")
+	}
+	// seg.size is only mutated under writeMu, which we hold.
+	if seg.size >= s.opts.SegmentBytes {
+		if err := s.startSegment(seg.seq + 1); err != nil {
+			return err
+		}
+		s.mu.RLock()
+		seg = s.active
+		s.mu.RUnlock()
+	}
+	frame := make([]byte, frameHdrSize, frameHdrSize+len(payload))
+	frame[0] = kind
+	binary.BigEndian.PutUint64(frame[1:], uint64(key))
+	binary.BigEndian.PutUint32(frame[9:], uint32(len(payload)))
+	crc := crc32.Checksum(frame[:9], crcTable)
+	crc = crc32.Update(crc, crcTable, frame[9:13])
+	crc = crc32.Update(crc, crcTable, payload)
+	binary.BigEndian.PutUint32(frame[13:], crc)
+	frame = append(frame, payload...)
+	ref := recordRef{seg: seg.seq, off: seg.size, size: int64(len(frame))}
+	if kind == kindShortcut {
+		meta, err := parseShortcutMeta(payload)
+		if err != nil {
+			return err
+		}
+		ref.graphFP, ref.partFP = meta.graphFP, meta.partFP
+	}
+	if _, err := seg.f.WriteAt(frame, seg.size); err != nil {
+		return err
+	}
+	if !s.opts.NoSync {
+		if err := seg.f.Sync(); err != nil {
+			return err
+		}
+	}
+	s.mu.Lock()
+	seg.size += int64(len(frame))
+	if kind != kindTombstone {
+		s.indexPut(kind, key, ref)
+	}
+	s.mu.Unlock()
+	return nil
+}
+
+// readPayload fetches a live record's payload (re-verifying its checksum).
+// Caller holds at least s.mu.RLock.
+func (s *Store) readPayload(ref recordRef) ([]byte, error) {
+	seg, ok := s.segs[ref.seg]
+	if !ok {
+		return nil, fmt.Errorf("store: segment %d vanished", ref.seg)
+	}
+	frame := make([]byte, ref.size)
+	if _, err := seg.f.ReadAt(frame, ref.off); err != nil {
+		return nil, err
+	}
+	crc := crc32.Checksum(frame[:9], crcTable)
+	crc = crc32.Update(crc, crcTable, frame[9:13])
+	crc = crc32.Update(crc, crcTable, frame[frameHdrSize:])
+	if crc != binary.BigEndian.Uint32(frame[13:]) {
+		return nil, fmt.Errorf("store: record %s/%c: checksum mismatch on read",
+			service.Fingerprint(binary.BigEndian.Uint64(frame[1:])), frame[0])
+	}
+	return frame[frameHdrSize:], nil
+}
+
+// perm returns the memoized canonical edge permutation for this exact
+// graph instance.
+func (s *Store) perm(g *graph.Graph) *edgePerm {
+	s.permMu.Lock()
+	defer s.permMu.Unlock()
+	p := s.perms[g]
+	if p == nil {
+		if len(s.perms) >= permCacheLimit {
+			s.perms = make(map[*graph.Graph]*edgePerm)
+		}
+		p = newEdgePerm(g)
+		s.perms[g] = p
+	}
+	return p
+}
+
+// has reports whether a live record exists. Caller may hold writeMu; mu is
+// taken briefly.
+func (s *Store) has(kind byte, key service.Fingerprint) bool {
+	s.mu.RLock()
+	_, ok := s.index[indexKey{kind: kind, key: key}]
+	s.mu.RUnlock()
+	return ok
+}
+
+// PutGraph persists g under its content fingerprint; known content is a
+// cheap no-op. Implements service.Store.
+func (s *Store) PutGraph(fp service.Fingerprint, g *graph.Graph) error {
+	s.writeMu.Lock()
+	defer s.writeMu.Unlock()
+	if s.has(kindGraph, fp) {
+		return nil
+	}
+	return s.appendRecord(kindGraph, fp, encodeGraph(g))
+}
+
+// EachGraph decodes every live graph record. Implements service.Store.
+func (s *Store) EachGraph(fn func(fp service.Fingerprint, g *graph.Graph) error) error {
+	s.mu.RLock()
+	refs := make(map[service.Fingerprint]recordRef)
+	for ik, ref := range s.index {
+		if ik.kind == kindGraph {
+			refs[ik.key] = ref
+		}
+	}
+	s.mu.RUnlock()
+	fps := make([]service.Fingerprint, 0, len(refs))
+	for fp := range refs {
+		fps = append(fps, fp)
+	}
+	sort.Slice(fps, func(i, j int) bool { return fps[i] < fps[j] })
+	for _, fp := range fps {
+		g, err := s.getGraphRef(fp, refs[fp])
+		if err != nil {
+			return err
+		}
+		if err := fn(fp, g); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (s *Store) getGraphRef(fp service.Fingerprint, ref recordRef) (*graph.Graph, error) {
+	s.mu.RLock()
+	payload, err := s.readPayload(ref)
+	s.mu.RUnlock()
+	if err != nil {
+		return nil, err
+	}
+	return decodeGraph(payload, fp)
+}
+
+// GetGraph decodes the live graph record for fp, if any.
+func (s *Store) GetGraph(fp service.Fingerprint) (*graph.Graph, bool, error) {
+	s.mu.RLock()
+	ref, ok := s.index[indexKey{kind: kindGraph, key: fp}]
+	s.mu.RUnlock()
+	if !ok {
+		return nil, false, nil
+	}
+	g, err := s.getGraphRef(fp, ref)
+	if err != nil {
+		return nil, false, err
+	}
+	return g, true, nil
+}
+
+// GetPartition decodes the live partition record for fp against g,
+// validating part connectivity. Used by offline inspection (the serving
+// path never needs it: requests carry their partition).
+func (s *Store) GetPartition(fp service.Fingerprint, g *graph.Graph) (*partition.Partition, bool, error) {
+	s.mu.RLock()
+	ref, ok := s.index[indexKey{kind: kindPartition, key: fp}]
+	if !ok {
+		s.mu.RUnlock()
+		return nil, false, nil
+	}
+	payload, err := s.readPayload(ref)
+	s.mu.RUnlock()
+	if err != nil {
+		return nil, false, err
+	}
+	p, err := decodePartition(payload, fp, g)
+	if err != nil {
+		return nil, false, err
+	}
+	return p, true, nil
+}
+
+// PutShortcut persists the partition record (deduplicated) and the shortcut
+// record. Implements service.Store. A shortcut whose graph record is no
+// longer live is silently dropped: a detached engine persist can race a
+// DeleteGraph tombstone, and writing the record after the tombstone would
+// resurrect a shortcut whose graph is gone (an orphan that fails Verify).
+func (s *Store) PutShortcut(key, graphFP service.Fingerprint, parts *partition.Partition,
+	opts shortcut.Options, res *shortcut.Result, buildTime time.Duration) error {
+
+	partFP := service.FingerprintPartition(parts)
+	perm := s.perm(res.Shortcut.G)
+	payload := encodeShortcut(perm, graphFP, partFP, opts, res, buildTime)
+	s.writeMu.Lock()
+	defer s.writeMu.Unlock()
+	if !s.has(kindGraph, graphFP) || s.has(kindShortcut, key) {
+		return nil
+	}
+	if !s.has(kindPartition, partFP) {
+		if err := s.appendRecord(kindPartition, partFP, encodePartition(parts)); err != nil {
+			return err
+		}
+	}
+	return s.appendRecord(kindShortcut, key, payload)
+}
+
+// GetShortcut loads and reconstructs the shortcut stored under key against
+// the live representative g and the requested partition. Implements
+// service.Store.
+func (s *Store) GetShortcut(key service.Fingerprint, g *graph.Graph, parts *partition.Partition) (
+	*shortcut.Result, time.Duration, bool, error) {
+
+	s.mu.RLock()
+	ref, ok := s.index[indexKey{kind: kindShortcut, key: key}]
+	if !ok {
+		s.mu.RUnlock()
+		return nil, 0, false, nil
+	}
+	payload, err := s.readPayload(ref)
+	s.mu.RUnlock()
+	if err != nil {
+		return nil, 0, false, err
+	}
+	res, bt, err := decodeShortcut(payload, key, s.perm(g), g, parts)
+	if err != nil {
+		return nil, 0, false, err
+	}
+	return res, bt, true, nil
+}
+
+// DeleteGraph appends a tombstone hiding the graph record and every
+// shortcut built on it; deleting an absent graph writes nothing.
+// Implements service.Store. Space is reclaimed by the next GC.
+func (s *Store) DeleteGraph(fp service.Fingerprint) error {
+	s.writeMu.Lock()
+	defer s.writeMu.Unlock()
+	s.mu.RLock()
+	_, haveGraph := s.index[indexKey{kind: kindGraph, key: fp}]
+	haveDeps := len(s.byGraph[fp]) > 0
+	s.mu.RUnlock()
+	if !haveGraph && !haveDeps {
+		return nil
+	}
+	if err := s.appendRecord(kindTombstone, fp, nil); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	s.applyTombstone(fp)
+	s.mu.Unlock()
+	return nil
+}
+
+// RecordInfo describes one live record for listings.
+type RecordInfo struct {
+	// Kind is "graph", "partition", or "shortcut".
+	Kind string
+	Key  service.Fingerprint
+	// Segment and Offset locate the record on disk; Bytes is the framed
+	// size.
+	Segment int
+	Offset  int64
+	Bytes   int64
+	// GraphFP and PartitionFP are the dependencies of a shortcut record
+	// (zero otherwise).
+	GraphFP     service.Fingerprint
+	PartitionFP service.Fingerprint
+}
+
+func kindName(kind byte) string {
+	switch kind {
+	case kindGraph:
+		return "graph"
+	case kindPartition:
+		return "partition"
+	case kindShortcut:
+		return "shortcut"
+	}
+	return fmt.Sprintf("kind(%c)", kind)
+}
+
+// Records lists the live records sorted by kind then key.
+func (s *Store) Records() []RecordInfo {
+	s.mu.RLock()
+	out := make([]RecordInfo, 0, len(s.index))
+	for ik, ref := range s.index {
+		out = append(out, RecordInfo{
+			Kind:        kindName(ik.kind),
+			Key:         ik.key,
+			Segment:     ref.seg,
+			Offset:      ref.off,
+			Bytes:       ref.size,
+			GraphFP:     ref.graphFP,
+			PartitionFP: ref.partFP,
+		})
+	}
+	s.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Kind != out[j].Kind {
+			return out[i].Kind < out[j].Kind
+		}
+		return out[i].Key < out[j].Key
+	})
+	return out
+}
+
+// Problem is one verification failure.
+type Problem struct {
+	Kind string
+	Key  service.Fingerprint
+	Err  error
+}
+
+func (p Problem) String() string { return fmt.Sprintf("%s %s: %v", p.Kind, p.Key, p.Err) }
+
+// Verify re-reads and fully decodes every live record: frame checksums,
+// payload-to-key content hashes, structural validation (graph adjacency,
+// partition connectedness, shortcut edge sets against their tree), and
+// shortcut key re-derivation from the stored inputs. It returns one
+// Problem per failing record; an empty slice means the store is clean.
+func (s *Store) Verify() []Problem {
+	var problems []Problem
+	bad := func(kind byte, key service.Fingerprint, err error) {
+		problems = append(problems, Problem{Kind: kindName(kind), Key: key, Err: err})
+	}
+	s.mu.RLock()
+	type rec struct {
+		ik  indexKey
+		ref recordRef
+	}
+	recs := make([]rec, 0, len(s.index))
+	for ik, ref := range s.index {
+		recs = append(recs, rec{ik, ref})
+	}
+	s.mu.RUnlock()
+	sort.Slice(recs, func(i, j int) bool {
+		if recs[i].ik.kind != recs[j].ik.kind {
+			return recs[i].ik.kind < recs[j].ik.kind
+		}
+		return recs[i].ik.key < recs[j].ik.key
+	})
+	graphs := make(map[service.Fingerprint]*graph.Graph)
+	for _, r := range recs {
+		s.mu.RLock()
+		payload, err := s.readPayload(r.ref)
+		s.mu.RUnlock()
+		if err != nil {
+			bad(r.ik.kind, r.ik.key, err)
+			continue
+		}
+		switch r.ik.kind {
+		case kindGraph:
+			g, err := decodeGraph(payload, r.ik.key)
+			if err != nil {
+				bad(r.ik.kind, r.ik.key, err)
+				continue
+			}
+			if err := g.Validate(); err != nil {
+				bad(r.ik.kind, r.ik.key, err)
+				continue
+			}
+			graphs[r.ik.key] = g
+		case kindPartition:
+			if len(payload) < 1 || payload[0] != partitionPayloadVersion {
+				bad(r.ik.kind, r.ik.key, fmt.Errorf("bad payload version"))
+			} else if got := service.FingerprintBytes(payload[1:]); got != r.ik.key {
+				bad(r.ik.kind, r.ik.key, fmt.Errorf("content hash mismatch"))
+			}
+		case kindShortcut:
+			g, ok := graphs[r.ref.graphFP]
+			if !ok {
+				bad(r.ik.kind, r.ik.key, fmt.Errorf("references missing graph %s", r.ref.graphFP))
+				continue
+			}
+			s.mu.RLock()
+			pref, ok := s.index[indexKey{kind: kindPartition, key: r.ref.partFP}]
+			s.mu.RUnlock()
+			if !ok {
+				bad(r.ik.kind, r.ik.key, fmt.Errorf("references missing partition %s", r.ref.partFP))
+				continue
+			}
+			s.mu.RLock()
+			ppay, err := s.readPayload(pref)
+			s.mu.RUnlock()
+			if err != nil {
+				bad(r.ik.kind, r.ik.key, err)
+				continue
+			}
+			parts, err := decodePartition(ppay, r.ref.partFP, g)
+			if err != nil {
+				bad(r.ik.kind, r.ik.key, err)
+				continue
+			}
+			if _, _, err := decodeShortcut(payload, r.ik.key, s.perm(g), g, parts); err != nil {
+				bad(r.ik.kind, r.ik.key, err)
+			}
+		}
+	}
+	return problems
+}
+
+// GCStats reports what a compaction did.
+type GCStats struct {
+	// LiveRecords and LiveBytes are what the compacted segment holds.
+	LiveRecords int
+	LiveBytes   int64
+	// DroppedRecords counts live index entries not carried over
+	// (partitions no live shortcut references). Dead on-disk records —
+	// superseded duplicates, tombstoned graphs and shortcuts, the
+	// tombstones themselves — were never in the live index; the space
+	// they held shows up in ReclaimedBytes.
+	DroppedRecords int
+	// ReclaimedBytes is the size difference between the old segment set
+	// and the compacted one.
+	ReclaimedBytes int64
+	// Segments is the segment-file count after compaction.
+	Segments int
+}
+
+// GC compacts the store: every live record — minus partitions no live
+// shortcut references — is copied into a fresh segment written to a
+// temporary file and atomically renamed into place, then the old segments
+// are deleted. A crash before the rename leaves the old set; a crash after
+// it leaves old and new coexisting, which replays to the identical index
+// (newest record wins, and tombstones in old segments apply before the
+// compacted segment is replayed).
+func (s *Store) GC() (GCStats, error) {
+	s.writeMu.Lock()
+	defer s.writeMu.Unlock()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var st GCStats
+
+	// Partitions still referenced by a live shortcut.
+	wanted := make(map[service.Fingerprint]bool)
+	for ik, ref := range s.index {
+		if ik.kind == kindShortcut {
+			wanted[ref.partFP] = true
+		}
+	}
+	type keep struct {
+		ik  indexKey
+		ref recordRef
+	}
+	var keeps []keep
+	totalRecords := 0
+	for ik, ref := range s.index {
+		totalRecords++
+		if ik.kind == kindPartition && !wanted[ik.key] {
+			continue
+		}
+		keeps = append(keeps, keep{ik, ref})
+	}
+	// Deterministic layout: order by kind then key so identical content
+	// compacts to identical bytes.
+	sort.Slice(keeps, func(i, j int) bool {
+		if keeps[i].ik.kind != keeps[j].ik.kind {
+			return keeps[i].ik.kind < keeps[j].ik.kind
+		}
+		return keeps[i].ik.key < keeps[j].ik.key
+	})
+
+	nextSeq := 1
+	for seq := range s.segs {
+		if seq >= nextSeq {
+			nextSeq = seq + 1
+		}
+	}
+	tmpPath := filepath.Join(s.dir, "gc.seg.tmp")
+	tmp, err := os.OpenFile(tmpPath, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return st, err
+	}
+	defer os.Remove(tmpPath)
+	if _, err := tmp.Write([]byte(segMagic)); err != nil {
+		tmp.Close()
+		return st, err
+	}
+	newRefs := make(map[indexKey]recordRef, len(keeps))
+	off := int64(len(segMagic))
+	for _, k := range keeps {
+		seg, ok := s.segs[k.ref.seg]
+		if !ok {
+			tmp.Close()
+			return st, fmt.Errorf("store: segment %d vanished during gc", k.ref.seg)
+		}
+		frame := make([]byte, k.ref.size)
+		if _, err := seg.f.ReadAt(frame, k.ref.off); err != nil {
+			tmp.Close()
+			return st, err
+		}
+		if _, err := tmp.Write(frame); err != nil {
+			tmp.Close()
+			return st, err
+		}
+		ref := k.ref
+		ref.seg, ref.off = nextSeq, off
+		newRefs[k.ik] = ref
+		off += k.ref.size
+		st.LiveRecords++
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return st, err
+	}
+	oldBytes := int64(0)
+	for _, seg := range s.segs {
+		oldBytes += seg.size
+	}
+	if err := os.Rename(tmpPath, s.segPath(nextSeq)); err != nil {
+		tmp.Close()
+		return st, err
+	}
+	syncDir(s.dir)
+	// Point of no return: the compacted segment is durable. Retire the
+	// old files and swap the index over.
+	for seq, seg := range s.segs {
+		seg.f.Close()
+		os.Remove(s.segPath(seq))
+		delete(s.segs, seq)
+	}
+	syncDir(s.dir)
+	newSeg := &segment{seq: nextSeq, f: tmp, size: off}
+	s.segs[nextSeq] = newSeg
+	s.active = newSeg
+	s.index = newRefs
+	s.byGraph = make(map[service.Fingerprint]map[service.Fingerprint]struct{})
+	for ik, ref := range newRefs {
+		if ik.kind == kindShortcut {
+			deps := s.byGraph[ref.graphFP]
+			if deps == nil {
+				deps = make(map[service.Fingerprint]struct{})
+				s.byGraph[ref.graphFP] = deps
+			}
+			deps[ik.key] = struct{}{}
+		}
+	}
+	st.LiveBytes = off
+	st.DroppedRecords = totalRecords - st.LiveRecords
+	st.ReclaimedBytes = oldBytes - off
+	st.Segments = len(s.segs)
+	s.open.CorruptSkipped, s.open.TruncatedBytes, s.open.TombstonesApplied = 0, 0, 0
+	s.recount()
+	return st, nil
+}

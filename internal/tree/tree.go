@@ -1,7 +1,3 @@
-// Package tree provides rooted-tree machinery for tree-restricted shortcuts
-// (Definition 2.3 of the paper): parent/depth arrays derived from BFS trees,
-// bottom-up and top-down traversal orders, subtree aggregation, and
-// Euler-interval ancestor labels used by the distributed min-cut algorithm.
 package tree
 
 import (

@@ -32,12 +32,15 @@
 //   - MST, MinCut: Corollaries 1.6 and 1.7.
 //   - ServiceEngine: the concurrent serving layer — a content-addressed
 //     shortcut cache with singleflight builds and a bounded worker pool,
-//     the in-process core of the cmd/locshortd daemon.
+//     the in-process core of the cmd/locshortd daemon. With a DurableStore
+//     (OpenStore) plugged into ServiceConfig.Store, built shortcuts
+//     persist and the engine warm-starts across restarts.
 //
-// See DESIGN.md for the architecture (including the "Service layer"
-// section on fingerprinting, caching, and the job lifecycle) and
-// EXPERIMENTS.md for the measured reproduction of every theorem, lemma,
-// and corollary.
+// See DESIGN.md for the architecture (§4 "Service layer" on
+// fingerprinting, caching, and the job lifecycle; §5 "Builder and memory
+// discipline"; §6 "Persistence and warm-start"), OPERATIONS.md for running
+// the daemon, and EXPERIMENTS.md for the measured reproduction of every
+// theorem, lemma, and corollary.
 package locshort
 
 import (
@@ -48,6 +51,7 @@ import (
 	"locshort/internal/partition"
 	"locshort/internal/service"
 	"locshort/internal/shortcut"
+	"locshort/internal/store"
 	"locshort/internal/tree"
 )
 
@@ -266,3 +270,20 @@ var (
 	ErrUnknownGraph    = service.ErrUnknownGraph
 	ErrUnknownShortcut = service.ErrUnknownShortcut
 )
+
+// Durable persistence (see internal/store and DESIGN.md §6): a
+// content-addressed, append-only snapshot store for graphs, partitions,
+// and built shortcuts. Plug a DurableStore into ServiceConfig.Store and
+// the engine persists builds, serves cache misses store-first, and
+// warm-starts its graph catalog across restarts.
+type (
+	// ServiceStore is the persistence interface the engine accepts.
+	ServiceStore = service.Store
+	// DurableStore is the on-disk segment-log implementation.
+	DurableStore = store.Store
+	// StoreOptions tunes segment size and fsync behavior.
+	StoreOptions = store.Options
+)
+
+// OpenStore opens (creating if necessary) a durable store directory.
+var OpenStore = store.Open
