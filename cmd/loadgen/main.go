@@ -9,7 +9,7 @@
 //	loadgen [-addr 127.0.0.1:8080] [-duration 10s] [-conns 8]
 //	        [-catalog "grid:32x32;torus:16x16;wheel:200;ktree:300,4"]
 //	        [-parts blobs:32] [-seeds 4] [-zipf 1.3] [-job-frac 0]
-//	        [-seed 1] [-require-hits] [-require-store-hits]
+//	        [-seed 1] [-async] [-require-hits] [-require-store-hits]
 //
 // Flags (all of them — the README table mirrors this list):
 //
@@ -22,8 +22,18 @@
 //	-zipf      Zipf skew across catalog ranks (> 1)
 //	-job-frac  fraction of requests that are MST jobs instead of builds
 //	-seed      generator seed
+//	-async     submit with "async": true and long-poll GET /v1/jobs/{id}
 //	-require-hits        exit nonzero unless the server reports cache hits
 //	-require-store-hits  exit nonzero unless the server reports store hits
+//
+// -async switches every request to asynchronous submission: the closed
+// loop POSTs with "async": true, records the 202 acknowledgement latency
+// ("async submits" in the report — what head-of-line blocking costs a
+// synchronous client), then long-polls GET /v1/jobs/{id}?wait= until the
+// job is terminal and records the end-to-end completion latency, split by
+// source exactly like the synchronous report. A job that ends failed or
+// canceled counts as an error, so `-async` finishing with "0 errors" is
+// the async-serving health assertion CI uses after a daemon restart.
 //
 // Each request picks a catalog graph by Zipf rank (rank 1 is hottest) and
 // a partition seed uniformly from [0, seeds); the (graph, partition seed)
@@ -87,6 +97,10 @@ type client struct {
 }
 
 func (c *client) post(path string, body, out any) error {
+	return c.postStatus(path, body, http.StatusOK, out)
+}
+
+func (c *client) postStatus(path string, body any, wantStatus int, out any) error {
 	b, err := json.Marshal(body)
 	if err != nil {
 		return err
@@ -96,7 +110,7 @@ func (c *client) post(path string, body, out any) error {
 		return err
 	}
 	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
+	if resp.StatusCode != wantStatus {
 		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
 		return fmt.Errorf("POST %s: %s: %s", path, resp.Status, strings.TrimSpace(string(msg)))
 	}
@@ -104,6 +118,60 @@ func (c *client) post(path string, body, out any) error {
 		return json.NewDecoder(resp.Body).Decode(out)
 	}
 	return nil
+}
+
+func (c *client) get(path string, out any) error {
+	resp, err := c.hc.Get(c.base + path)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return fmt.Errorf("GET %s: %s: %s", path, resp.Status, strings.TrimSpace(string(msg)))
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// asyncJobTimeout bounds how long one submitted job is polled before it
+// counts as an error — matching the HTTP client timeout a synchronous
+// request gets, so a wedged queue surfaces as errors, not a hang.
+const asyncJobTimeout = 5 * time.Minute
+
+// runAsync submits one request with "async": true and long-polls the job
+// to completion. It returns the acknowledgement latency and the source
+// class of the final result ("" for query jobs).
+func (c *client) runAsync(path string, body map[string]any) (submit time.Duration, source string, err error) {
+	body["async"] = true
+	var sub struct {
+		ID string `json:"id"`
+	}
+	start := time.Now()
+	if err := c.postStatus(path, body, http.StatusAccepted, &sub); err != nil {
+		return 0, "", err
+	}
+	submit = time.Since(start)
+	var js struct {
+		State  string `json:"state"`
+		Error  string `json:"error"`
+		Result struct {
+			Source string `json:"source"`
+		} `json:"result"`
+	}
+	for {
+		if err := c.get("/v1/jobs/"+sub.ID+"?wait=30s", &js); err != nil {
+			return submit, "", err
+		}
+		switch js.State {
+		case "done":
+			return submit, js.Result.Source, nil
+		case "failed", "canceled":
+			return submit, "", fmt.Errorf("job %s %s: %s", sub.ID, js.State, js.Error)
+		}
+		if time.Since(start) > asyncJobTimeout {
+			return submit, "", fmt.Errorf("job %s still %s after %v", sub.ID, js.State, asyncJobTimeout)
+		}
+	}
 }
 
 func run() error {
@@ -118,6 +186,7 @@ func run() error {
 		zipfS            = flag.Float64("zipf", 1.3, "Zipf skew across catalog ranks (>1)")
 		jobFrac          = flag.Float64("job-frac", 0, "fraction of requests that are MST jobs instead of shortcut builds")
 		seed             = flag.Int64("seed", 1, "generator seed")
+		async            = flag.Bool("async", false, "submit with \"async\": true and long-poll GET /v1/jobs/{id}; report submit vs complete latency")
 		requireHits      = flag.Bool("require-hits", false, "exit nonzero unless the server reports cache hits")
 		requireStoreHits = flag.Bool("require-store-hits", false, "exit nonzero unless the server reports durable-store hits (restart-recovery assertion)")
 	)
@@ -157,10 +226,12 @@ func run() error {
 	}
 
 	// Closed loop: each connection issues the next request as soon as the
-	// previous one returns.
+	// previous one returns (in -async mode: as soon as the previous job
+	// completes, keeping the comparison closed-loop).
 	var (
 		mu       sync.Mutex
 		samples  []sample
+		submits  []time.Duration
 		errs     int
 		firstErr error
 	)
@@ -178,12 +249,22 @@ func run() error {
 				isJob := rng.Float64() < *jobFrac
 				start := time.Now()
 				var err error
+				var submit time.Duration
 				s := sample{job: isJob}
-				if isJob {
+				switch {
+				case *async && isJob:
+					submit, _, err = c.runAsync("/v1/jobs", map[string]any{
+						"kind": "mst", "graph": fps[gi], "seed": ps,
+					})
+				case *async:
+					submit, s.source, err = c.runAsync("/v1/shortcuts", map[string]any{
+						"graph": fps[gi], "partition": *partSpec, "seed": ps,
+					})
+				case isJob:
 					err = c.post("/v1/jobs", map[string]any{
 						"kind": "mst", "graph": fps[gi], "seed": ps,
 					}, nil)
-				} else {
+				default:
 					var resp struct {
 						Cached bool   `json:"cached"`
 						Source string `json:"source"`
@@ -209,6 +290,9 @@ func run() error {
 					}
 				} else {
 					samples = append(samples, s)
+					if *async {
+						submits = append(submits, submit)
+					}
 				}
 				mu.Unlock()
 			}
@@ -222,7 +306,7 @@ func run() error {
 		}
 		return fmt.Errorf("no request completed within %v", *duration)
 	}
-	report(samples, errs, *duration)
+	report(samples, submits, errs, *duration)
 	if firstErr != nil {
 		fmt.Printf("first error: %v\n", firstErr)
 	}
@@ -248,6 +332,11 @@ func run() error {
 			stats.Stats.StoreHits, stats.Stats.StoreMisses,
 			stats.Stats.StoreWrites, stats.Stats.StoreErrors)
 	}
+	if stats.Stats.AsyncSubmitted > 0 || stats.Stats.AsyncQueued+stats.Stats.AsyncRunning > 0 {
+		fmt.Printf("server async: %d submitted, %d queued / %d running, %d done, %d failed, %d canceled\n",
+			stats.Stats.AsyncSubmitted, stats.Stats.AsyncQueued, stats.Stats.AsyncRunning,
+			stats.Stats.AsyncDone, stats.Stats.AsyncFailed, stats.Stats.AsyncCanceled)
+	}
 	if *requireHits && stats.Stats.CacheHits == 0 {
 		return fmt.Errorf("require-hits: server reports zero cache hits")
 	}
@@ -257,7 +346,7 @@ func run() error {
 	return nil
 }
 
-func report(samples []sample, errs int, d time.Duration) {
+func report(samples []sample, submits []time.Duration, errs int, d time.Duration) {
 	var cold, stored, hit, jobs []time.Duration
 	for _, s := range samples {
 		switch {
@@ -281,6 +370,12 @@ func report(samples []sample, errs int, d time.Duration) {
 		sort.Slice(ls, func(i, j int) bool { return ls[i] < ls[j] })
 		fmt.Printf("%-14s %-6d p50 %-10v p99 %v\n",
 			name+":", len(ls), quantile(ls, 0.50), quantile(ls, 0.99))
+	}
+	// The async split: acknowledgement latency (what the submitter waits)
+	// vs the completion latencies below (submit → terminal, classified by
+	// source like the synchronous report).
+	if len(submits) > 0 {
+		line("async submits", submits)
 	}
 	line("cold builds", cold)
 	if len(stored) > 0 {

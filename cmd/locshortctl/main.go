@@ -1,6 +1,7 @@
 // Command locshortctl is the offline administration tool for a locshortd
 // durable store directory (internal/store): list, inspect, verify, and
-// compact the content-addressed records without a running daemon.
+// compact the content-addressed records, and manage async job records,
+// without a running daemon.
 //
 // Usage:
 //
@@ -8,17 +9,26 @@
 //	locshortctl -data DIR inspect <fp>     decode one record in detail
 //	locshortctl -data DIR verify           full integrity check (exit 1 on problems)
 //	locshortctl -data DIR gc               compact segments, reclaim dead space
+//	locshortctl -data DIR jobs ls          list async job records
+//	locshortctl -data DIR jobs inspect <id>  decode one job (request, result, error)
+//	locshortctl -data DIR jobs cancel <id>   cancel a queued/interrupted job offline
 //
 // The store is single-owner: run locshortctl against a stopped daemon or a
-// copied directory, never against the directory of a live locshortd. See
-// OPERATIONS.md for the backup / GC / verify runbook.
+// copied directory, never against the directory of a live locshortd.
+// `jobs cancel` exists exactly for that offline window: a job accepted by
+// a daemon that went down re-runs on the next warm start unless it is
+// canceled here first. See OPERATIONS.md for the backup / GC / verify /
+// jobs runbook.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
+	"time"
 
+	"locshort/internal/jobs"
 	"locshort/internal/service"
 	"locshort/internal/shortcut"
 	"locshort/internal/store"
@@ -32,7 +42,7 @@ func main() {
 }
 
 func usage() error {
-	return fmt.Errorf("usage: locshortctl -data DIR {ls | inspect <fp> | verify | gc}")
+	return fmt.Errorf("usage: locshortctl -data DIR {ls | inspect <fp> | verify | gc | jobs {ls | inspect <id> | cancel <id>}}")
 }
 
 func run() error {
@@ -68,6 +78,28 @@ func run() error {
 		return runVerify(s)
 	case "gc":
 		return runGC(s)
+	case "jobs":
+		if flag.NArg() < 2 {
+			return usage()
+		}
+		switch sub := flag.Arg(1); sub {
+		case "ls":
+			return runJobsLs(s)
+		case "inspect", "cancel":
+			if flag.NArg() != 3 {
+				return usage()
+			}
+			id, err := jobs.ParseID(flag.Arg(2))
+			if err != nil {
+				return err
+			}
+			if sub == "inspect" {
+				return runJobsInspect(s, id)
+			}
+			return runJobsCancel(s, id)
+		default:
+			return usage()
+		}
 	default:
 		return usage()
 	}
@@ -84,8 +116,8 @@ func runLs(s *store.Store) error {
 		fmt.Printf("%-9s  %-16s  %8d  %s\n", r.Kind, r.Key, r.Bytes, dep)
 	}
 	st := s.OpenStats()
-	fmt.Printf("%d records (%d graphs, %d partitions, %d shortcuts) in %d segments, %d bytes\n",
-		len(recs), st.Graphs, st.Partitions, st.Shortcuts, st.Segments, st.Bytes)
+	fmt.Printf("%d records (%d graphs, %d partitions, %d shortcuts, %d jobs) in %d segments, %d bytes\n",
+		len(recs), st.Graphs, st.Partitions, st.Shortcuts, st.Jobs, st.Segments, st.Bytes)
 	if st.CorruptSkipped > 0 || st.TruncatedBytes > 0 {
 		fmt.Printf("repaired on open: %d corrupt records skipped, %d bytes truncated\n",
 			st.CorruptSkipped, st.TruncatedBytes)
@@ -157,12 +189,126 @@ func runVerify(s *store.Store) error {
 	for _, p := range problems {
 		fmt.Println("PROBLEM:", p)
 	}
+	total := st.Graphs + st.Partitions + st.Shortcuts + st.Jobs
 	if len(problems) > 0 {
-		return fmt.Errorf("%d of %d records failed verification",
-			len(problems), st.Graphs+st.Partitions+st.Shortcuts)
+		return fmt.Errorf("%d of %d records failed verification", len(problems), total)
 	}
-	fmt.Printf("store clean: %d records verified (%d graphs, %d partitions, %d shortcuts)\n",
-		st.Graphs+st.Partitions+st.Shortcuts, st.Graphs, st.Partitions, st.Shortcuts)
+	fmt.Printf("store clean: %d records verified (%d graphs, %d partitions, %d shortcuts, %d jobs)\n",
+		total, st.Graphs, st.Partitions, st.Shortcuts, st.Jobs)
+	return nil
+}
+
+// loadJobs decodes every live job record, oldest first.
+func loadJobs(s *store.Store) ([]jobs.Record, error) {
+	var recs []jobs.Record
+	err := s.EachJob(func(id uint64, payload []byte) error {
+		rec, err := jobs.DecodeRecord(payload)
+		if err != nil {
+			return fmt.Errorf("job %016x: %w", id, err)
+		}
+		recs = append(recs, rec)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Slice(recs, func(i, j int) bool { return recs[i].CreatedNs < recs[j].CreatedNs })
+	return recs, nil
+}
+
+func runJobsLs(s *store.Store) error {
+	recs, err := loadJobs(s)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-16s  %-9s  %-8s  %8s  %-24s  %s\n",
+		"ID", "KIND", "STATE", "ATTEMPTS", "CREATED", "NOTE")
+	counts := map[jobs.State]int{}
+	for _, r := range recs {
+		counts[r.State]++
+		note := r.Error
+		switch {
+		case r.State == jobs.Done && r.FinishedNs > r.StartedNs && r.StartedNs > 0:
+			note = fmt.Sprintf("ran %v", time.Duration(r.FinishedNs-r.StartedNs).Round(time.Millisecond))
+		case r.CancelRequested && !r.State.Terminal():
+			note = "cancel pending"
+		}
+		fmt.Printf("%-16s  %-9s  %-8s  %8d  %-24s  %s\n",
+			r.ID, r.Kind, r.State, r.Attempts,
+			time.Unix(0, r.CreatedNs).UTC().Format(time.RFC3339), note)
+	}
+	fmt.Printf("%d jobs (%d queued, %d running, %d done, %d failed, %d canceled)\n",
+		len(recs), counts[jobs.Queued], counts[jobs.Running],
+		counts[jobs.Done], counts[jobs.Failed], counts[jobs.Canceled])
+	if n := counts[jobs.Queued] + counts[jobs.Running]; n > 0 {
+		fmt.Printf("note: %d non-terminal job(s) will be re-enqueued on the daemon's next warm start\n", n)
+	}
+	return nil
+}
+
+func runJobsInspect(s *store.Store, id jobs.ID) error {
+	payload, ok, err := s.GetJob(uint64(id))
+	if err != nil {
+		return err
+	}
+	if !ok {
+		return fmt.Errorf("no job record stored under %s", id)
+	}
+	r, err := jobs.DecodeRecord(payload)
+	if err != nil {
+		return err
+	}
+	ts := func(ns int64) string {
+		if ns == 0 {
+			return "-"
+		}
+		return time.Unix(0, ns).UTC().Format(time.RFC3339Nano)
+	}
+	fmt.Printf("job %s: kind=%s state=%s attempts=%d cancel_requested=%v\n",
+		r.ID, r.Kind, r.State, r.Attempts, r.CancelRequested)
+	fmt.Printf("  created  %s\n  started  %s\n  finished %s\n",
+		ts(r.CreatedNs), ts(r.StartedNs), ts(r.FinishedNs))
+	if len(r.Request) > 0 {
+		fmt.Printf("  request  %s\n", r.Request)
+	}
+	if len(r.Result) > 0 {
+		fmt.Printf("  result   %s\n", r.Result)
+	}
+	if r.Error != "" {
+		fmt.Printf("  error    %s\n", r.Error)
+	}
+	return nil
+}
+
+// runJobsCancel durably cancels a non-terminal job record so the next
+// daemon warm start does not re-run it.
+func runJobsCancel(s *store.Store, id jobs.ID) error {
+	payload, ok, err := s.GetJob(uint64(id))
+	if err != nil {
+		return err
+	}
+	if !ok {
+		return fmt.Errorf("no job record stored under %s", id)
+	}
+	r, err := jobs.DecodeRecord(payload)
+	if err != nil {
+		return err
+	}
+	if r.State.Terminal() {
+		return fmt.Errorf("job %s already %s", id, r.State)
+	}
+	was := r.State
+	r.CancelRequested = true
+	r.State = jobs.Canceled
+	r.FinishedNs = time.Now().UnixNano()
+	out, err := jobs.EncodeRecord(r)
+	if err != nil {
+		return err
+	}
+	if err := s.PutJob(uint64(id), out); err != nil {
+		return err
+	}
+	fmt.Printf("job %s canceled (was %s); it will not re-run on warm start\n", id, was)
 	return nil
 }
 

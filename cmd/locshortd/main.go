@@ -5,6 +5,7 @@
 // Usage:
 //
 //	locshortd [-addr 127.0.0.1:8080] [-workers N] [-cache N] [-queue N]
+//	          [-async-queue N] [-async-workers N] [-retries N]
 //	          [-data DIR] [-addrfile PATH] [-pprof ADDR]
 //
 // Endpoints:
@@ -14,14 +15,27 @@
 //	DELETE /v1/graphs/{fp} evict a graph everywhere: registration, cache, store
 //	POST   /v1/shortcuts   build-or-get a shortcut for (graph, partition, options)
 //	POST   /v1/jobs        run mst | mincut | aggregate | measure
-//	GET    /v1/stats       engine counters, hit rate, uptime
+//	POST   /v1/batch       submit a list of requests asynchronously → 202 + job IDs
+//	GET    /v1/jobs        list async jobs (?state= filters)
+//	GET    /v1/jobs/{id}   fetch one async job (?wait= long-polls for completion)
+//	DELETE /v1/jobs/{id}   cancel an async job
+//	GET    /v1/stats       engine counters, async gauges, hit rate, uptime
 //	GET    /healthz        liveness
 //
-// -data DIR makes the daemon durable: ingested graphs and built shortcuts
-// persist to the append-only store in DIR, the graph catalog warm-starts
-// on boot, and cache misses are served store-first — so a restart costs a
-// store read per shortcut instead of a rebuild stampede. See OPERATIONS.md
-// for the on-disk layout and the locshortctl runbook (backup, gc, verify).
+// Any /v1/shortcuts or /v1/jobs body with "async": true — and every
+// /v1/batch item — is accepted with 202 and a job ID instead of holding
+// the connection for the build; the internal/jobs manager drains accepted
+// work through the engine's worker pool and results are fetched via
+// GET /v1/jobs/{id}. With -data, accepted jobs are durable: a restart
+// re-enqueues queued and interrupted work and completed results stay
+// fetchable.
+//
+// -data DIR makes the daemon durable: ingested graphs, built shortcuts,
+// and async job records persist to the append-only store in DIR, the
+// graph catalog warm-starts on boot, and cache misses are served
+// store-first — so a restart costs a store read per shortcut instead of a
+// rebuild stampede. See OPERATIONS.md for the on-disk layout and the
+// locshortctl runbook (backup, gc, verify, jobs).
 //
 // -addr :0 picks a free port; the bound address is printed on stdout and,
 // with -addrfile, written to PATH so scripts (CI, cmd/loadgen) can find
@@ -52,6 +66,7 @@ import (
 	"syscall"
 	"time"
 
+	"locshort/internal/jobs"
 	"locshort/internal/service"
 	"locshort/internal/store"
 )
@@ -64,20 +79,28 @@ func main() {
 
 func run() error {
 	var (
-		addr     = flag.String("addr", "127.0.0.1:8080", "listen address (use :0 for a free port)")
-		workers  = flag.Int("workers", 0, "job worker pool size (default GOMAXPROCS)")
-		cacheCap = flag.Int("cache", 0, "resident shortcut capacity (default 64)")
-		queue    = flag.Int("queue", 0, "job queue depth (default 256)")
-		addrfile = flag.String("addrfile", "", "write the bound address to this file")
-		pprofA   = flag.String("pprof", "", "serve net/http/pprof on this address (empty: disabled)")
-		data     = flag.String("data", "", "durable store directory (empty: in-memory only)")
+		addr         = flag.String("addr", "127.0.0.1:8080", "listen address (use :0 for a free port)")
+		workers      = flag.Int("workers", 0, "job worker pool size (default GOMAXPROCS)")
+		cacheCap     = flag.Int("cache", 0, "resident shortcut capacity (default 64)")
+		queue        = flag.Int("queue", 0, "job queue depth (default 256)")
+		asyncQueue   = flag.Int("async-queue", 0, "async job queue depth (default 1024)")
+		asyncWorkers = flag.Int("async-workers", 0, "async dispatcher concurrency (default 4)")
+		retries      = flag.Int("retries", 0, "re-runs of a failed async job before it is recorded failed")
+		asyncKeep    = flag.Int("async-retention", 0, "terminal async job records kept in memory (default 4096; older results served from -data)")
+		addrfile     = flag.String("addrfile", "", "write the bound address to this file")
+		pprofA       = flag.String("pprof", "", "serve net/http/pprof on this address (empty: disabled)")
+		data         = flag.String("data", "", "durable store directory (empty: in-memory only)")
 	)
 	flag.Parse()
 
 	cfg := service.Config{
-		Workers:       *workers,
-		CacheCapacity: *cacheCap,
-		QueueDepth:    *queue,
+		Workers:         *workers,
+		CacheCapacity:   *cacheCap,
+		QueueDepth:      *queue,
+		AsyncQueueDepth: *asyncQueue,
+		AsyncWorkers:    *asyncWorkers,
+		AsyncRetries:    *retries,
+		AsyncRetention:  *asyncKeep,
 	}
 	var st *store.Store
 	if *data != "" {
@@ -97,13 +120,44 @@ func run() error {
 			return fmt.Errorf("warm start: %w", err)
 		}
 		ss := st.OpenStats()
-		log.Printf("locshortd: warm start from %s: %d graphs, %d shortcut records in %d segments (%d bytes)",
-			st.Dir(), loaded, ss.Shortcuts, ss.Segments, ss.Bytes)
+		log.Printf("locshortd: warm start from %s: %d graphs, %d shortcut records, %d job records in %d segments (%d bytes)",
+			st.Dir(), loaded, ss.Shortcuts, ss.Jobs, ss.Segments, ss.Bytes)
 		if ss.CorruptSkipped > 0 || ss.TruncatedBytes > 0 {
 			log.Printf("locshortd: store repair on open: %d corrupt records skipped, %d bytes truncated",
 				ss.CorruptSkipped, ss.TruncatedBytes)
 		}
 	}
+
+	jcfg := jobs.Config{
+		QueueDepth: cfg.AsyncQueueDepth,
+		Workers:    cfg.AsyncWorkers,
+		Retries:    cfg.AsyncRetries,
+		Retention:  cfg.AsyncRetention,
+	}
+	if st != nil {
+		jcfg.Store = st
+	}
+	srv, handler := newServer(eng, jcfg)
+	mgr := srv.mgr
+	// Close order (LIFO with the defers above): manager first, so
+	// interrupted async runs go durably back to queued, then the engine
+	// (drains detached persists), then the store.
+	defer mgr.Close()
+	if st != nil {
+		// Recover after WarmStart: re-enqueued jobs reference graphs the
+		// engine must already know.
+		requeued, err := mgr.Recover()
+		if err != nil {
+			return fmt.Errorf("job recovery: %w", err)
+		}
+		if requeued > 0 {
+			log.Printf("locshortd: re-enqueued %d interrupted async jobs", requeued)
+		}
+		if skipped := mgr.Stats().RecoverSkipped; skipped > 0 {
+			log.Printf("locshortd: skipped %d undecodable job records (inspect with locshortctl)", skipped)
+		}
+	}
+	mgr.Start()
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -137,15 +191,15 @@ func run() error {
 		}()
 	}
 
-	srv := &http.Server{
-		Handler:           newServer(eng),
+	hsrv := &http.Server{
+		Handler:           handler,
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
 	errc := make(chan error, 1)
-	go func() { errc <- srv.Serve(ln) }()
+	go func() { errc <- hsrv.Serve(ln) }()
 	select {
 	case err := <-errc:
 		return err
@@ -154,7 +208,7 @@ func run() error {
 		log.Println("locshortd: shutting down")
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
-		if err := srv.Shutdown(shutdownCtx); err != nil {
+		if err := hsrv.Shutdown(shutdownCtx); err != nil {
 			return err
 		}
 		if err := <-errc; !errors.Is(err, http.ErrServerClosed) {

@@ -1,10 +1,13 @@
 package main
 
 import (
+	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"net/http"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -12,22 +15,30 @@ import (
 	"locshort/internal/cli"
 	"locshort/internal/dist"
 	"locshort/internal/graph"
+	"locshort/internal/jobs"
 	"locshort/internal/partition"
 	"locshort/internal/service"
 )
 
-// server wires the service engine to the HTTP JSON API. Handlers are thin:
-// decode, translate fingerprints, call the engine, encode. All concurrency
-// control (worker pool, cache, singleflight) lives in internal/service.
+// server wires the service engine and the async job manager to the HTTP
+// JSON API. Handlers are thin: decode, translate fingerprints, call the
+// engine, encode. Request execution is factored into buildShortcut/runJob
+// so the synchronous handlers and the async dispatcher run the identical
+// path; all concurrency control (worker pool, cache, singleflight, job
+// queue) lives in internal/service and internal/jobs.
 type server struct {
 	eng   *service.Engine
+	mgr   *jobs.Manager
 	start time.Time
 	// parts memoizes the (graph, partition spec, seed) → Partition
 	// translation, which is deterministic but costs a BFS per request;
 	// without it, partition parsing dominates cache-hit latency. The memo
 	// stops growing at partMemoLimit entries so unbounded distinct
 	// requests cannot exhaust memory (beyond the limit, parsing just
-	// stays uncached).
+	// stays uncached). Entries are keyed by "<fp>/<spec>/<seed>" and
+	// evicted when their graph is deleted — a stale entry would pin the
+	// removed representative and silently serve a partition parsed
+	// against a graph instance the engine no longer holds.
 	parts     sync.Map // string → *partition.Partition
 	partCount atomic.Int64
 }
@@ -36,20 +47,29 @@ type server struct {
 // set (the shortcut cache holds far fewer entries anyway).
 const partMemoLimit = 4096
 
-func newServer(eng *service.Engine) http.Handler {
+// newServer builds the HTTP API over eng plus an async job manager
+// configured by jcfg. The caller owns the manager lifecycle: Recover
+// (after the engine's WarmStart) and Start before serving, Close on
+// shutdown before the engine closes.
+func newServer(eng *service.Engine, jcfg jobs.Config) (*server, http.Handler) {
 	s := &server{eng: eng, start: time.Now()}
+	s.mgr = jobs.New(jcfg, s.execAsync)
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/graphs", s.handleGraphs)
 	mux.HandleFunc("GET /v1/graphs", s.handleGraphList)
 	mux.HandleFunc("DELETE /v1/graphs/{fp}", s.handleGraphDelete)
 	mux.HandleFunc("POST /v1/shortcuts", s.handleShortcuts)
 	mux.HandleFunc("POST /v1/jobs", s.handleJobs)
+	mux.HandleFunc("POST /v1/batch", s.handleBatch)
+	mux.HandleFunc("GET /v1/jobs", s.handleJobList)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobGet)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobCancel)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.WriteHeader(http.StatusOK)
 		fmt.Fprintln(w, "ok")
 	})
-	return mux
+	return s, mux
 }
 
 // httpError is the uniform error envelope.
@@ -64,15 +84,54 @@ func writeJSON(w http.ResponseWriter, v any) {
 	json.NewEncoder(w).Encode(v)
 }
 
-func decode(r *http.Request, v any) error {
-	dec := json.NewDecoder(http.MaxBytesReader(nil, r.Body, 64<<20))
+// decode reads a JSON request body capped at 64 MiB. The ResponseWriter
+// is handed to MaxBytesReader so an oversized body also closes the
+// connection (the client would otherwise keep streaming into a void);
+// decodeStatus maps the resulting error to 413.
+func decode(w http.ResponseWriter, r *http.Request, v any) error {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 64<<20))
 	dec.DisallowUnknownFields()
 	return dec.Decode(v)
 }
 
+// decodeStatus maps a decode error to its status: 413 when the body cap
+// tripped, 400 for everything else malformed.
+func decodeStatus(err error) int {
+	var mbe *http.MaxBytesError
+	if errors.As(err, &mbe) {
+		return http.StatusRequestEntityTooLarge
+	}
+	return http.StatusBadRequest
+}
+
+// strictUnmarshal is decode's strictness (unknown fields rejected) for
+// payloads that are already in memory: batch items and async job records.
+func strictUnmarshal(b []byte, v any) error {
+	dec := json.NewDecoder(bytes.NewReader(b))
+	dec.DisallowUnknownFields()
+	return dec.Decode(v)
+}
+
+// statusError tags an error with the HTTP status it maps to. The shared
+// execution helpers (buildShortcut, runJob) use it to carry 400-class
+// decisions out to whichever caller — the synchronous handler or the
+// async dispatcher, which runs detached from any HTTP request.
+type statusError struct {
+	status int
+	err    error
+}
+
+func (e *statusError) Error() string { return e.err.Error() }
+func (e *statusError) Unwrap() error { return e.err }
+
+func badRequest(err error) error { return &statusError{status: http.StatusBadRequest, err: err} }
+
 // statusFor maps engine errors to HTTP statuses.
 func statusFor(err error) int {
+	var se *statusError
 	switch {
+	case errors.As(err, &se):
+		return se.status
 	case errors.Is(err, service.ErrUnknownGraph), errors.Is(err, service.ErrUnknownShortcut):
 		return http.StatusNotFound
 	case errors.Is(err, service.ErrClosed):
@@ -99,8 +158,8 @@ type graphResponse struct {
 
 func (s *server) handleGraphs(w http.ResponseWriter, r *http.Request) {
 	var req graphRequest
-	if err := decode(r, &req); err != nil {
-		httpError(w, http.StatusBadRequest, err)
+	if err := decode(w, r, &req); err != nil {
+		httpError(w, decodeStatus(err), err)
 		return
 	}
 	var g *graph.Graph
@@ -131,10 +190,11 @@ func (s *server) handleGraphs(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusUnprocessableEntity, err)
 		return
 	}
-	// Respond with the representative's size: on re-ingest of known
-	// content these match the submitted graph by construction.
-	rep, _ := s.eng.Graph(fp)
-	writeJSON(w, graphResponse{Graph: fp.String(), Nodes: rep.NumNodes(), Edges: rep.NumEdges()})
+	// Respond with the submitted graph's size: on re-ingest of known
+	// content it matches the representative by construction, and unlike a
+	// Graph(fp) readback it cannot race a concurrent DELETE of the
+	// fingerprint into a nil dereference.
+	writeJSON(w, graphResponse{Graph: fp.String(), Nodes: g.NumNodes(), Edges: g.NumEdges()})
 }
 
 // graphFromEdges validates and assembles an explicit edge list; unlike
@@ -184,8 +244,9 @@ func (s *server) handleGraphList(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleGraphDelete evicts a graph everywhere: the engine registration,
-// every resident cached shortcut built on it, and — when the daemon runs
-// with -data — the durable records (reclaimed by the next locshortctl gc).
+// every resident cached shortcut built on it, the partition memo entries
+// parsed against it, and — when the daemon runs with -data — the durable
+// records (reclaimed by the next locshortctl gc).
 func (s *server) handleGraphDelete(w http.ResponseWriter, r *http.Request) {
 	fp, err := service.ParseFingerprint(r.PathValue("fp"))
 	if err != nil {
@@ -197,18 +258,34 @@ func (s *server) handleGraphDelete(w http.ResponseWriter, r *http.Request) {
 		httpError(w, statusFor(err), err)
 		return
 	}
+	// Evict the partition memos keyed under the deleted fingerprint: left
+	// behind they pin the removed graph representative in memory and
+	// would be silently reused (against the wrong graph instance) if the
+	// same content is re-ingested. Decrementing the count per entry keeps
+	// the memo cap from ratcheting shut under ingest/delete churn.
+	prefix := fp.String() + "/"
+	s.parts.Range(func(k, _ any) bool {
+		if strings.HasPrefix(k.(string), prefix) {
+			if _, loaded := s.parts.LoadAndDelete(k); loaded {
+				s.partCount.Add(-1)
+			}
+		}
+		return true
+	})
 	writeJSON(w, map[string]any{"graph": fp.String(), "evicted_shortcuts": evicted})
 }
 
 // shortcutRequest asks for a build-or-get of a shortcut on a registered
 // graph. The partition is given as an internal/cli spec plus seed or as an
 // explicit part list; options use the canonical internal/cli textual form.
+// Async submissions return 202 with a job ID instead of blocking.
 type shortcutRequest struct {
 	Graph     string  `json:"graph"`
 	Partition string  `json:"partition,omitempty"`
 	Parts     [][]int `json:"parts,omitempty"`
 	Seed      int64   `json:"seed,omitempty"`
 	Options   string  `json:"options,omitempty"`
+	Async     bool    `json:"async,omitempty"`
 }
 
 type shortcutResponse struct {
@@ -228,32 +305,28 @@ type shortcutResponse struct {
 	CoveredParts int     `json:"covered_parts"`
 }
 
-func (s *server) handleShortcuts(w http.ResponseWriter, r *http.Request) {
-	var req shortcutRequest
-	if err := decode(r, &req); err != nil {
-		httpError(w, http.StatusBadRequest, err)
-		return
-	}
+// buildShortcut executes one build-or-get request: the path shared by the
+// synchronous POST /v1/shortcuts handler and the async dispatcher.
+// Request-shape problems come back as statusError(400); everything else
+// maps through statusFor.
+func (s *server) buildShortcut(ctx context.Context, req shortcutRequest) (shortcutResponse, error) {
+	var zero shortcutResponse
 	fp, err := service.ParseFingerprint(req.Graph)
 	if err != nil {
-		httpError(w, http.StatusBadRequest, err)
-		return
+		return zero, badRequest(err)
 	}
 	g, ok := s.eng.Graph(fp)
 	if !ok {
-		httpError(w, http.StatusNotFound, service.ErrUnknownGraph)
-		return
+		return zero, service.ErrUnknownGraph
 	}
 	opts, err := cli.ParseBuildOptions(req.Options)
 	if err != nil {
-		httpError(w, http.StatusBadRequest, err)
-		return
+		return zero, badRequest(err)
 	}
 	breq := service.BuildRequest{Graph: fp, Options: opts}
 	switch {
 	case req.Partition != "" && req.Parts != nil:
-		httpError(w, http.StatusBadRequest, errors.New("give either partition or parts, not both"))
-		return
+		return zero, badRequest(errors.New("give either partition or parts, not both"))
 	case req.Partition != "":
 		pkey := fmt.Sprintf("%s/%s/%d", req.Graph, req.Partition, req.Seed)
 		if cached, ok := s.parts.Load(pkey); ok {
@@ -262,37 +335,44 @@ func (s *server) handleShortcuts(w http.ResponseWriter, r *http.Request) {
 			s.partCount.Load() < partMemoLimit {
 			if _, loaded := s.parts.LoadOrStore(pkey, breq.Parts); !loaded {
 				s.partCount.Add(1)
+				// Re-check the registration: a DELETE that ran between our
+				// Graph(fp) read and this insert has already swept the
+				// memo, so an entry parsed against the removed
+				// representative would be left behind (and silently reused
+				// on re-ingest). Seeing the graph gone here means the
+				// sweep ran; evicting our own insert closes the window.
+				if _, still := s.eng.Graph(fp); !still {
+					if _, loaded := s.parts.LoadAndDelete(pkey); loaded {
+						s.partCount.Add(-1)
+					}
+				}
 			}
 		}
 	case req.Parts != nil:
 		breq.Parts, err = partition.New(g, req.Parts)
 	default:
-		httpError(w, http.StatusBadRequest, errors.New("need partition spec or parts"))
-		return
+		return zero, badRequest(errors.New("need partition spec or parts"))
 	}
 	if err != nil {
-		httpError(w, http.StatusBadRequest, err)
-		return
+		return zero, badRequest(err)
 	}
-	c, hit, err := s.eng.Build(r.Context(), breq)
+	c, hit, err := s.eng.Build(ctx, breq)
 	if err != nil {
-		httpError(w, statusFor(err), err)
-		return
+		return zero, err
 	}
 	// Quality via the engine so first-touch measurement runs on the
 	// bounded worker pool, not the serving goroutine; memoized, so hits
 	// pay only a cache lookup. Measured on the held entry: re-resolving
 	// c.Key here would race eviction under capacity pressure.
-	q, err := s.eng.MeasureCached(r.Context(), c)
+	q, err := s.eng.MeasureCached(ctx, c)
 	if err != nil {
-		httpError(w, statusFor(err), err)
-		return
+		return zero, err
 	}
 	source := "cache"
 	if !hit {
 		source = c.Source.String()
 	}
-	writeJSON(w, shortcutResponse{
+	return shortcutResponse{
 		Shortcut:     c.Key.String(),
 		Graph:        c.GraphFP.String(),
 		Cached:       hit,
@@ -303,12 +383,31 @@ func (s *server) handleShortcuts(w http.ResponseWriter, r *http.Request) {
 		Dilation:     q.Dilation,
 		MaxBlocks:    q.MaxBlocks,
 		CoveredParts: q.CoveredParts,
-	})
+	}, nil
+}
+
+func (s *server) handleShortcuts(w http.ResponseWriter, r *http.Request) {
+	var req shortcutRequest
+	if err := decode(w, r, &req); err != nil {
+		httpError(w, decodeStatus(err), err)
+		return
+	}
+	if req.Async {
+		s.submitAsync(w, jobKindShortcut, req)
+		return
+	}
+	resp, err := s.buildShortcut(r.Context(), req)
+	if err != nil {
+		httpError(w, statusFor(err), err)
+		return
+	}
+	writeJSON(w, resp)
 }
 
 // jobRequest runs a query job. Kind selects the algorithm; graph-level
 // jobs (mst, mincut) address a graph fingerprint, shortcut-level jobs
-// (aggregate, measure) address a shortcut key from /v1/shortcuts.
+// (aggregate, measure) address a shortcut key from /v1/shortcuts. Async
+// submissions return 202 with a job ID instead of blocking.
 type jobRequest struct {
 	Kind     string `json:"kind"`
 	Graph    string `json:"graph,omitempty"`
@@ -322,6 +421,21 @@ type jobRequest struct {
 	// Provider selects the MST/MinCut shortcut provider: "central"
 	// (default), "distributed", "adaptive", or "trivial".
 	Provider string `json:"provider,omitempty"`
+	Async    bool   `json:"async,omitempty"`
+}
+
+// jobKindShortcut is the async-manager kind for build-or-get shortcut
+// requests; the query kinds ("mst", "mincut", "aggregate", "measure")
+// pass through jobRequest.Kind unchanged.
+const jobKindShortcut = "shortcut"
+
+// validJobKind reports whether kind names a query-job algorithm.
+func validJobKind(kind string) bool {
+	switch kind {
+	case "mst", "mincut", "aggregate", "measure":
+		return true
+	}
+	return false
 }
 
 func parseOp(s string) (dist.Op, error) {
@@ -361,65 +475,54 @@ func roundsOf(r dist.Rounds) roundsJSON {
 	return roundsJSON{Measured: r.Measured, Sync: r.Sync, Charged: r.Charged, Total: r.Total()}
 }
 
-func (s *server) handleJobs(w http.ResponseWriter, r *http.Request) {
-	var req jobRequest
-	if err := decode(r, &req); err != nil {
-		httpError(w, http.StatusBadRequest, err)
-		return
-	}
-	ctx := r.Context()
+// runJob executes one query job: the path shared by the synchronous
+// POST /v1/jobs handler and the async dispatcher.
+func (s *server) runJob(ctx context.Context, req jobRequest) (map[string]any, error) {
 	switch req.Kind {
 	case "mst":
 		fp, err := service.ParseFingerprint(req.Graph)
 		if err != nil {
-			httpError(w, http.StatusBadRequest, err)
-			return
+			return nil, badRequest(err)
 		}
 		provider, err := parseProvider(req.Provider)
 		if err != nil {
-			httpError(w, http.StatusBadRequest, err)
-			return
+			return nil, badRequest(err)
 		}
 		res, err := s.eng.MST(ctx, service.MSTRequest{
 			Graph:   fp,
 			Options: dist.MSTOptions{Provider: provider, Seed: req.Seed},
 		})
 		if err != nil {
-			httpError(w, statusFor(err), err)
-			return
+			return nil, err
 		}
-		writeJSON(w, map[string]any{
+		return map[string]any{
 			"kind": "mst", "weight": res.Weight, "edges": len(res.EdgeIDs),
 			"phases": res.Phases, "rounds": roundsOf(res.Rounds),
-		})
+		}, nil
 	case "mincut":
 		fp, err := service.ParseFingerprint(req.Graph)
 		if err != nil {
-			httpError(w, http.StatusBadRequest, err)
-			return
+			return nil, badRequest(err)
 		}
 		res, err := s.eng.MinCut(ctx, service.MinCutRequest{
 			Graph:   fp,
 			Options: dist.MinCutOptions{Seed: req.Seed},
 		})
 		if err != nil {
-			httpError(w, statusFor(err), err)
-			return
+			return nil, err
 		}
-		writeJSON(w, map[string]any{
+		return map[string]any{
 			"kind": "mincut", "value": res.Value, "trees": res.Trees,
 			"rounds": roundsOf(res.Rounds),
-		})
+		}, nil
 	case "aggregate":
 		key, err := service.ParseFingerprint(req.Shortcut)
 		if err != nil {
-			httpError(w, http.StatusBadRequest, err)
-			return
+			return nil, badRequest(err)
 		}
 		op, err := parseOp(req.Op)
 		if err != nil {
-			httpError(w, http.StatusBadRequest, err)
-			return
+			return nil, badRequest(err)
 		}
 		areq := service.AggregateRequest{Shortcut: key, Op: op, Seed: req.Seed}
 		if req.Values != nil {
@@ -430,40 +533,321 @@ func (s *server) handleJobs(w http.ResponseWriter, r *http.Request) {
 		}
 		res, err := s.eng.Aggregate(ctx, areq)
 		if err != nil {
-			httpError(w, statusFor(err), err)
-			return
+			return nil, err
 		}
 		parts := make([]int64, len(res.PartResult))
 		for i, p := range res.PartResult {
 			parts[i] = p[0]
 		}
-		writeJSON(w, map[string]any{
+		return map[string]any{
 			"kind": "aggregate", "parts": parts, "rounds": roundsOf(res.Rounds),
-		})
+		}, nil
 	case "measure":
 		key, err := service.ParseFingerprint(req.Shortcut)
+		if err != nil {
+			return nil, badRequest(err)
+		}
+		q, err := s.eng.Measure(ctx, key)
+		if err != nil {
+			return nil, err
+		}
+		return map[string]any{
+			"kind": "measure", "congestion": q.Congestion, "dilation": q.Dilation,
+			"max_blocks": q.MaxBlocks, "covered_parts": q.CoveredParts,
+			"dilation_exact": q.DilationExact,
+		}, nil
+	default:
+		return nil, badRequest(
+			fmt.Errorf("unknown job kind %q (want mst, mincut, aggregate, or measure)", req.Kind))
+	}
+}
+
+func (s *server) handleJobs(w http.ResponseWriter, r *http.Request) {
+	var req jobRequest
+	if err := decode(w, r, &req); err != nil {
+		httpError(w, decodeStatus(err), err)
+		return
+	}
+	if req.Async {
+		// Reject unknown kinds before accepting: a 202 for a job that can
+		// only ever fail helps nobody.
+		if !validJobKind(req.Kind) {
+			httpError(w, http.StatusBadRequest,
+				fmt.Errorf("unknown job kind %q (want mst, mincut, aggregate, or measure)", req.Kind))
+			return
+		}
+		s.submitAsync(w, req.Kind, req)
+		return
+	}
+	out, err := s.runJob(r.Context(), req)
+	if err != nil {
+		httpError(w, statusFor(err), err)
+		return
+	}
+	writeJSON(w, out)
+}
+
+// execAsync is the jobs.Executor: it re-decodes the persisted request body
+// and runs the identical execution path as the synchronous handlers. The
+// ctx is the job's own (canceled by DELETE /v1/jobs/{id} and by
+// shutdown), not an HTTP request context.
+func (s *server) execAsync(ctx context.Context, kind string, request json.RawMessage) (json.RawMessage, error) {
+	if kind == jobKindShortcut {
+		var req shortcutRequest
+		if err := strictUnmarshal(request, &req); err != nil {
+			return nil, err
+		}
+		resp, err := s.buildShortcut(ctx, req)
+		if err != nil {
+			return nil, err
+		}
+		return json.Marshal(resp)
+	}
+	var req jobRequest
+	if err := strictUnmarshal(request, &req); err != nil {
+		return nil, err
+	}
+	req.Kind = kind
+	out, err := s.runJob(ctx, req)
+	if err != nil {
+		return nil, err
+	}
+	return json.Marshal(out)
+}
+
+// asyncStatus maps manager submission errors to HTTP statuses.
+func asyncStatus(err error) int {
+	switch {
+	case errors.Is(err, jobs.ErrQueueFull):
+		return http.StatusTooManyRequests
+	case errors.Is(err, jobs.ErrClosed):
+		return http.StatusServiceUnavailable
+	}
+	return http.StatusInternalServerError
+}
+
+// submitAsync marshals the decoded request back to JSON (its durable
+// form), submits it, and acknowledges with 202 + the queued job record.
+func (s *server) submitAsync(w http.ResponseWriter, kind string, req any) {
+	payload, err := json.Marshal(req)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, err)
+		return
+	}
+	rec, err := s.mgr.Submit(kind, payload)
+	if err != nil {
+		httpError(w, asyncStatus(err), err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusAccepted)
+	json.NewEncoder(w).Encode(jobView(rec, false))
+}
+
+// jobViewJSON is the wire form of a job record. Result is included only
+// where the full record was asked for (GET /v1/jobs/{id}); listings and
+// submission acknowledgements omit it.
+type jobViewJSON struct {
+	ID              string          `json:"id"`
+	Kind            string          `json:"kind"`
+	State           string          `json:"state"`
+	Attempts        int             `json:"attempts,omitempty"`
+	CancelRequested bool            `json:"cancel_requested,omitempty"`
+	Created         string          `json:"created"`
+	Started         string          `json:"started,omitempty"`
+	Finished        string          `json:"finished,omitempty"`
+	Error           string          `json:"error,omitempty"`
+	Result          json.RawMessage `json:"result,omitempty"`
+}
+
+func jobView(rec jobs.Record, withResult bool) jobViewJSON {
+	ts := func(ns int64) string {
+		if ns == 0 {
+			return ""
+		}
+		return time.Unix(0, ns).UTC().Format(time.RFC3339Nano)
+	}
+	v := jobViewJSON{
+		ID:              rec.ID.String(),
+		Kind:            rec.Kind,
+		State:           rec.State.String(),
+		Attempts:        rec.Attempts,
+		CancelRequested: rec.CancelRequested,
+		Created:         ts(rec.CreatedNs),
+		Started:         ts(rec.StartedNs),
+		Finished:        ts(rec.FinishedNs),
+		Error:           rec.Error,
+	}
+	if withResult {
+		v.Result = rec.Result
+	}
+	return v
+}
+
+// batchRequest is a list of async submissions: each item is either a
+// shortcut request (no "kind" field) or a query-job request. The whole
+// batch is validated before anything is accepted, so a 400 means nothing
+// was enqueued.
+type batchRequest struct {
+	Requests []json.RawMessage `json:"requests"`
+}
+
+// maxBatchItems bounds one batch; larger workloads paginate.
+const maxBatchItems = 4096
+
+func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	var req batchRequest
+	if err := decode(w, r, &req); err != nil {
+		httpError(w, decodeStatus(err), err)
+		return
+	}
+	if len(req.Requests) == 0 {
+		httpError(w, http.StatusBadRequest, errors.New("empty batch: need requests"))
+		return
+	}
+	if len(req.Requests) > maxBatchItems {
+		httpError(w, http.StatusBadRequest,
+			fmt.Errorf("batch of %d requests exceeds the %d-item limit", len(req.Requests), maxBatchItems))
+		return
+	}
+	// Pass 1: validate shape so a malformed item rejects the whole batch
+	// before any job is accepted.
+	kinds := make([]string, len(req.Requests))
+	for i, raw := range req.Requests {
+		var probe struct {
+			Kind string `json:"kind"`
+		}
+		_ = json.Unmarshal(raw, &probe) // shape errors surface in the strict pass below
+		if probe.Kind == "" {
+			var sr shortcutRequest
+			if err := strictUnmarshal(raw, &sr); err != nil {
+				httpError(w, http.StatusBadRequest, fmt.Errorf("request %d: %w", i, err))
+				return
+			}
+			kinds[i] = jobKindShortcut
+			continue
+		}
+		var jr jobRequest
+		if err := strictUnmarshal(raw, &jr); err != nil {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("request %d: %w", i, err))
+			return
+		}
+		if !validJobKind(jr.Kind) {
+			httpError(w, http.StatusBadRequest,
+				fmt.Errorf("request %d: unknown job kind %q", i, jr.Kind))
+			return
+		}
+		kinds[i] = jr.Kind
+	}
+	// Pass 2: submit. A queue-full mid-batch reports what was accepted —
+	// those jobs are already durable and will run.
+	accepted := make([]jobViewJSON, 0, len(req.Requests))
+	for i, raw := range req.Requests {
+		rec, err := s.mgr.Submit(kinds[i], raw)
+		if err != nil {
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(asyncStatus(err))
+			json.NewEncoder(w).Encode(map[string]any{
+				"error": fmt.Sprintf("request %d: %v (%d accepted)", i, err, len(accepted)),
+				"jobs":  accepted,
+			})
+			return
+		}
+		accepted = append(accepted, jobView(rec, false))
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusAccepted)
+	json.NewEncoder(w).Encode(map[string]any{"jobs": accepted})
+}
+
+// maxJobWait caps the GET /v1/jobs/{id} long-poll; clients with longer
+// horizons re-poll.
+const maxJobWait = 5 * time.Minute
+
+func (s *server) handleJobGet(w http.ResponseWriter, r *http.Request) {
+	id, err := jobs.ParseID(r.PathValue("id"))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	rec, ok := s.mgr.Get(id)
+	if !ok {
+		httpError(w, http.StatusNotFound, jobs.ErrUnknownJob)
+		return
+	}
+	if ws := r.URL.Query().Get("wait"); ws != "" && !rec.State.Terminal() {
+		wait, err := time.ParseDuration(ws)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("bad wait %q: %w", ws, err))
+			return
+		}
+		if wait > maxJobWait {
+			wait = maxJobWait
+		}
+		if wait > 0 {
+			ctx, cancel := context.WithTimeout(r.Context(), wait)
+			rec, _ = s.mgr.Wait(ctx, id)
+			cancel()
+		}
+	}
+	writeJSON(w, jobView(rec, true))
+}
+
+func (s *server) handleJobList(w http.ResponseWriter, r *http.Request) {
+	var filter *jobs.State
+	if fs := r.URL.Query().Get("state"); fs != "" {
+		st, err := jobs.ParseState(fs)
 		if err != nil {
 			httpError(w, http.StatusBadRequest, err)
 			return
 		}
-		q, err := s.eng.Measure(ctx, key)
-		if err != nil {
-			httpError(w, statusFor(err), err)
-			return
+		filter = &st
+	}
+	recs := s.mgr.List()
+	out := make([]jobViewJSON, 0, len(recs))
+	for _, rec := range recs {
+		if filter != nil && rec.State != *filter {
+			continue
 		}
-		writeJSON(w, map[string]any{
-			"kind": "measure", "congestion": q.Congestion, "dilation": q.Dilation,
-			"max_blocks": q.MaxBlocks, "covered_parts": q.CoveredParts,
-			"dilation_exact": q.DilationExact,
-		})
+		out = append(out, jobView(rec, false))
+	}
+	writeJSON(w, map[string]any{"jobs": out})
+}
+
+func (s *server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
+	id, err := jobs.ParseID(r.PathValue("id"))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	rec, err := s.mgr.Cancel(id)
+	switch {
+	case errors.Is(err, jobs.ErrUnknownJob):
+		httpError(w, http.StatusNotFound, err)
+	case errors.Is(err, jobs.ErrFinished):
+		httpError(w, http.StatusConflict,
+			fmt.Errorf("job %s already %s", id, rec.State))
+	case err != nil:
+		httpError(w, http.StatusInternalServerError, err)
 	default:
-		httpError(w, http.StatusBadRequest,
-			fmt.Errorf("unknown job kind %q (want mst, mincut, aggregate, or measure)", req.Kind))
+		writeJSON(w, jobView(rec, false))
 	}
 }
 
 func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 	st := s.eng.Stats()
+	if s.mgr != nil {
+		js := s.mgr.Stats()
+		st.AsyncSubmitted = js.Submitted
+		st.AsyncQueued = js.Queued
+		st.AsyncRunning = js.Running
+		st.AsyncDone = js.Done
+		st.AsyncFailed = js.Failed
+		st.AsyncCanceled = js.Canceled
+		st.AsyncRetries = js.Retries
+		st.AsyncPersistErrors = js.PersistErrors
+		st.AsyncRecoverSkip = js.RecoverSkipped
+	}
 	writeJSON(w, map[string]any{
 		"stats":          st,
 		"hit_rate":       st.HitRate(),

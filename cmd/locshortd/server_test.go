@@ -3,16 +3,38 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"fmt"
+	"io"
 	"math"
 	"net/http"
 	"net/http/httptest"
+	"strings"
+	"sync"
 	"testing"
+	"time"
 
 	"locshort/internal/cli"
 	"locshort/internal/graph"
+	"locshort/internal/jobs"
 	"locshort/internal/service"
 	"locshort/internal/store"
 )
+
+// newTestServer stands up an engine, the HTTP API, and a started async
+// job manager, torn down in reverse order with the test.
+func newTestServer(t *testing.T, cfg service.Config, jcfg jobs.Config) (*httptest.Server, *server) {
+	t.Helper()
+	eng := service.New(cfg)
+	srv, h := newServer(eng, jcfg)
+	srv.mgr.Start()
+	ts := httptest.NewServer(h)
+	t.Cleanup(func() {
+		ts.Close()
+		srv.mgr.Close()
+		eng.Close()
+	})
+	return ts, srv
+}
 
 // postJSON round-trips a JSON request against the test server, failing the
 // test on transport errors and decoding into out when the status matches.
@@ -43,10 +65,7 @@ func postJSON(t *testing.T, url string, body any, wantStatus int, out any) {
 // MST and aggregation through the HTTP API — the full daemon lifecycle
 // minus the TCP listener.
 func TestEndToEnd(t *testing.T) {
-	eng := service.New(service.Config{Workers: 2})
-	defer eng.Close()
-	ts := httptest.NewServer(newServer(eng))
-	defer ts.Close()
+	ts, _ := newTestServer(t, service.Config{Workers: 2}, jobs.Config{})
 
 	// Ingest a 16x16 grid by family spec.
 	var g struct {
@@ -170,10 +189,7 @@ func TestEndToEnd(t *testing.T) {
 }
 
 func TestEndToEndExplicitEdgesAndParts(t *testing.T) {
-	eng := service.New(service.Config{Workers: 1})
-	defer eng.Close()
-	ts := httptest.NewServer(newServer(eng))
-	defer ts.Close()
+	ts, _ := newTestServer(t, service.Config{Workers: 1}, jobs.Config{})
 
 	// A weighted 4-cycle given as an explicit edge list.
 	var g struct {
@@ -202,10 +218,7 @@ func TestEndToEndExplicitEdgesAndParts(t *testing.T) {
 }
 
 func TestAPIErrors(t *testing.T) {
-	eng := service.New(service.Config{Workers: 1})
-	defer eng.Close()
-	ts := httptest.NewServer(newServer(eng))
-	defer ts.Close()
+	ts, _ := newTestServer(t, service.Config{Workers: 1}, jobs.Config{})
 
 	// Unknown graph fingerprint: 404.
 	postJSON(t, ts.URL+"/v1/shortcuts",
@@ -263,7 +276,9 @@ func TestRestartWarmStart(t *testing.T) {
 		t.Fatal(err)
 	}
 	eng := service.New(service.Config{Workers: 2, Store: st})
-	ts := httptest.NewServer(newServer(eng))
+	srv1, h1 := newServer(eng, jobs.Config{Store: st})
+	srv1.mgr.Start()
+	ts := httptest.NewServer(h1)
 
 	var g struct {
 		Graph string `json:"graph"`
@@ -282,6 +297,7 @@ func TestRestartWarmStart(t *testing.T) {
 	}
 	// Clean shutdown: engine Close drains the detached store write.
 	ts.Close()
+	srv1.mgr.Close()
 	eng.Close()
 	if err := st.Close(); err != nil {
 		t.Fatal(err)
@@ -300,7 +316,10 @@ func TestRestartWarmStart(t *testing.T) {
 	if n, err := eng2.WarmStart(); err != nil || n != 1 {
 		t.Fatalf("WarmStart = (%d, %v), want (1, nil)", n, err)
 	}
-	ts2 := httptest.NewServer(newServer(eng2))
+	srv2, h2 := newServer(eng2, jobs.Config{Store: st2})
+	srv2.mgr.Start()
+	defer srv2.mgr.Close()
+	ts2 := httptest.NewServer(h2)
 	defer ts2.Close()
 
 	// The warm-started catalog lists the graph without re-ingesting.
@@ -365,7 +384,10 @@ func TestGraphListAndDelete(t *testing.T) {
 		eng.Close()
 		st.Close()
 	}()
-	ts := httptest.NewServer(newServer(eng))
+	srv, h := newServer(eng, jobs.Config{Store: st})
+	srv.mgr.Start()
+	defer srv.mgr.Close()
+	ts := httptest.NewServer(h)
 	defer ts.Close()
 
 	var g struct {
@@ -418,5 +440,528 @@ func TestGraphListAndDelete(t *testing.T) {
 	resp2.Body.Close()
 	if resp2.StatusCode != http.StatusNotFound {
 		t.Errorf("second DELETE: status %d, want 404", resp2.StatusCode)
+	}
+}
+
+// doJSON issues a request with an arbitrary method, asserting the status
+// and decoding the body when out is non-nil.
+func doJSON(t *testing.T, method, url string, body any, wantStatus int, out any) {
+	t.Helper()
+	var rd io.Reader
+	if body != nil {
+		b, err := json.Marshal(body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rd = bytes.NewReader(b)
+	}
+	req, err := http.NewRequest(method, url, rd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != wantStatus {
+		var e map[string]string
+		json.NewDecoder(resp.Body).Decode(&e)
+		t.Fatalf("%s %s: status %d (want %d): %s", method, url, resp.StatusCode, wantStatus, e["error"])
+	}
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// jobStatus is the wire form of one async job as the tests read it.
+type jobStatus struct {
+	ID     string          `json:"id"`
+	Kind   string          `json:"kind"`
+	State  string          `json:"state"`
+	Error  string          `json:"error"`
+	Result json.RawMessage `json:"result"`
+}
+
+// waitJob long-polls GET /v1/jobs/{id} until the job is terminal.
+func waitJob(t *testing.T, base, id string) jobStatus {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		var js jobStatus
+		doJSON(t, http.MethodGet, base+"/v1/jobs/"+id+"?wait=2s", nil, http.StatusOK, &js)
+		switch js.State {
+		case "done", "failed", "canceled":
+			return js
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s still %s after 30s", id, js.State)
+		}
+	}
+}
+
+// TestAsyncShortcutEndToEnd submits a build with "async": true, fetches
+// the result by job ID, and checks it matches what the synchronous path
+// serves (same content-addressed key, now a cache hit).
+func TestAsyncShortcutEndToEnd(t *testing.T) {
+	ts, _ := newTestServer(t, service.Config{Workers: 2}, jobs.Config{Workers: 2})
+
+	var g struct {
+		Graph string `json:"graph"`
+	}
+	postJSON(t, ts.URL+"/v1/graphs", map[string]any{"spec": "grid:16x16"}, http.StatusOK, &g)
+
+	var sub jobStatus
+	postJSON(t, ts.URL+"/v1/shortcuts",
+		map[string]any{"graph": g.Graph, "partition": "blobs:16", "seed": 3, "async": true},
+		http.StatusAccepted, &sub)
+	if sub.ID == "" || sub.State != "queued" || sub.Kind != "shortcut" {
+		t.Fatalf("async submit ack = %+v, want a queued shortcut job", sub)
+	}
+
+	js := waitJob(t, ts.URL, sub.ID)
+	if js.State != "done" {
+		t.Fatalf("job = %+v, want done", js)
+	}
+	var res struct {
+		Shortcut     string `json:"shortcut"`
+		Source       string `json:"source"`
+		CoveredParts int    `json:"covered_parts"`
+	}
+	if err := json.Unmarshal(js.Result, &res); err != nil {
+		t.Fatal(err)
+	}
+	if res.CoveredParts != 16 || res.Source != "built" {
+		t.Fatalf("async result = %+v, want a cold build covering 16 parts", res)
+	}
+
+	// The synchronous path now hits the same cache entry.
+	var sync struct {
+		Shortcut string `json:"shortcut"`
+		Cached   bool   `json:"cached"`
+	}
+	postJSON(t, ts.URL+"/v1/shortcuts",
+		map[string]any{"graph": g.Graph, "partition": "blobs:16", "seed": 3},
+		http.StatusOK, &sync)
+	if !sync.Cached || sync.Shortcut != res.Shortcut {
+		t.Errorf("sync follow-up = %+v, want a cache hit on %s", sync, res.Shortcut)
+	}
+
+	// The job shows up in the listing, and canceling a done job is 409.
+	var list struct {
+		Jobs []jobStatus `json:"jobs"`
+	}
+	doJSON(t, http.MethodGet, ts.URL+"/v1/jobs?state=done", nil, http.StatusOK, &list)
+	if len(list.Jobs) != 1 || list.Jobs[0].ID != sub.ID {
+		t.Errorf("job listing = %+v, want exactly the done job", list.Jobs)
+	}
+	doJSON(t, http.MethodDelete, ts.URL+"/v1/jobs/"+sub.ID, nil, http.StatusConflict, nil)
+
+	// Stats carry the async gauges.
+	var stats struct {
+		Stats service.Stats `json:"stats"`
+	}
+	doJSON(t, http.MethodGet, ts.URL+"/v1/stats", nil, http.StatusOK, &stats)
+	if stats.Stats.AsyncSubmitted != 1 || stats.Stats.AsyncDone != 1 ||
+		stats.Stats.AsyncQueued != 0 || stats.Stats.AsyncRunning != 0 {
+		t.Errorf("async stats = %+v, want 1 submitted and done, queue drained", stats.Stats)
+	}
+}
+
+// TestAsyncJobsAndErrors covers async query jobs and the error statuses of
+// the job endpoints.
+func TestAsyncJobsAndErrors(t *testing.T) {
+	ts, _ := newTestServer(t, service.Config{Workers: 2}, jobs.Config{Workers: 2})
+
+	var g struct {
+		Graph string `json:"graph"`
+	}
+	postJSON(t, ts.URL+"/v1/graphs", map[string]any{"spec": "grid:8x8"}, http.StatusOK, &g)
+
+	// Async MST completes with the same payload as the sync endpoint.
+	var sub jobStatus
+	postJSON(t, ts.URL+"/v1/jobs",
+		map[string]any{"kind": "mst", "graph": g.Graph, "async": true},
+		http.StatusAccepted, &sub)
+	js := waitJob(t, ts.URL, sub.ID)
+	if js.State != "done" {
+		t.Fatalf("async mst = %+v, want done", js)
+	}
+	var mst struct {
+		Weight float64 `json:"weight"`
+		Edges  int     `json:"edges"`
+	}
+	if err := json.Unmarshal(js.Result, &mst); err != nil {
+		t.Fatal(err)
+	}
+	if mst.Edges != 63 {
+		t.Errorf("async mst edges = %d, want 63", mst.Edges)
+	}
+
+	// A job referencing an unknown graph is accepted and then fails, with
+	// the engine error recorded.
+	postJSON(t, ts.URL+"/v1/shortcuts",
+		map[string]any{"graph": "00000000000000ff", "partition": "blobs:4", "async": true},
+		http.StatusAccepted, &sub)
+	js = waitJob(t, ts.URL, sub.ID)
+	if js.State != "failed" || js.Error == "" {
+		t.Fatalf("job on unknown graph = %+v, want failed with an error", js)
+	}
+
+	// Unknown async kind is rejected before acceptance.
+	postJSON(t, ts.URL+"/v1/jobs",
+		map[string]any{"kind": "frobnicate", "async": true}, http.StatusBadRequest, nil)
+	// Job endpoint statuses: malformed id, unknown id, bad wait, unknown
+	// cancel.
+	doJSON(t, http.MethodGet, ts.URL+"/v1/jobs/zzz", nil, http.StatusBadRequest, nil)
+	doJSON(t, http.MethodGet, ts.URL+"/v1/jobs/00000000000000aa", nil, http.StatusNotFound, nil)
+	doJSON(t, http.MethodGet, ts.URL+"/v1/jobs/"+sub.ID+"?wait=bogus", nil, http.StatusOK, nil) // terminal: wait ignored
+	doJSON(t, http.MethodDelete, ts.URL+"/v1/jobs/00000000000000aa", nil, http.StatusNotFound, nil)
+	doJSON(t, http.MethodGet, ts.URL+"/v1/jobs?state=nosuch", nil, http.StatusBadRequest, nil)
+}
+
+// TestBatch submits a mixed batch, drains it, and checks batch-level
+// validation accepts nothing when any item is malformed.
+func TestBatch(t *testing.T) {
+	ts, _ := newTestServer(t, service.Config{Workers: 4}, jobs.Config{Workers: 4})
+
+	var g struct {
+		Graph string `json:"graph"`
+	}
+	postJSON(t, ts.URL+"/v1/graphs", map[string]any{"spec": "grid:12x12"}, http.StatusOK, &g)
+
+	// 8 distinct cold builds plus one MST job.
+	reqs := make([]map[string]any, 0, 9)
+	for seed := 0; seed < 8; seed++ {
+		reqs = append(reqs, map[string]any{"graph": g.Graph, "partition": "blobs:12", "seed": seed})
+	}
+	reqs = append(reqs, map[string]any{"kind": "mst", "graph": g.Graph})
+	var batch struct {
+		Jobs []jobStatus `json:"jobs"`
+	}
+	postJSON(t, ts.URL+"/v1/batch", map[string]any{"requests": reqs}, http.StatusAccepted, &batch)
+	if len(batch.Jobs) != 9 {
+		t.Fatalf("batch accepted %d jobs, want 9", len(batch.Jobs))
+	}
+	keys := map[string]bool{}
+	for _, j := range batch.Jobs {
+		got := waitJob(t, ts.URL, j.ID)
+		if got.State != "done" {
+			t.Fatalf("batch job %s (%s) = %+v, want done", j.ID, j.Kind, got)
+		}
+		if j.Kind == "shortcut" {
+			var res struct {
+				Shortcut string `json:"shortcut"`
+			}
+			if err := json.Unmarshal(got.Result, &res); err != nil {
+				t.Fatal(err)
+			}
+			keys[res.Shortcut] = true
+		}
+	}
+	if len(keys) != 8 {
+		t.Errorf("batch built %d distinct shortcuts, want 8", len(keys))
+	}
+
+	// Whole-batch validation: one malformed item rejects everything.
+	var stats struct {
+		Stats service.Stats `json:"stats"`
+	}
+	doJSON(t, http.MethodGet, ts.URL+"/v1/stats", nil, http.StatusOK, &stats)
+	before := stats.Stats.AsyncSubmitted
+	postJSON(t, ts.URL+"/v1/batch", map[string]any{"requests": []map[string]any{
+		{"graph": g.Graph, "partition": "blobs:12"},
+		{"kind": "nosuch"},
+	}}, http.StatusBadRequest, nil)
+	postJSON(t, ts.URL+"/v1/batch", map[string]any{"requests": []map[string]any{}}, http.StatusBadRequest, nil)
+	doJSON(t, http.MethodGet, ts.URL+"/v1/stats", nil, http.StatusOK, &stats)
+	if stats.Stats.AsyncSubmitted != before {
+		t.Errorf("rejected batches enqueued jobs: submitted %d → %d", before, stats.Stats.AsyncSubmitted)
+	}
+}
+
+// TestAsyncQueueFull checks 429 on a saturated queue, including the
+// partial-acceptance report of /v1/batch.
+func TestAsyncQueueFull(t *testing.T) {
+	eng := service.New(service.Config{Workers: 1})
+	defer eng.Close()
+	// Manager deliberately not started: nothing drains, so the depth-2
+	// queue saturates deterministically.
+	srv, h := newServer(eng, jobs.Config{QueueDepth: 2})
+	defer srv.mgr.Close()
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+
+	var g struct {
+		Graph string `json:"graph"`
+	}
+	postJSON(t, ts.URL+"/v1/graphs", map[string]any{"spec": "path:4"}, http.StatusOK, &g)
+	sc := map[string]any{"graph": g.Graph, "partition": "singletons", "async": true}
+	postJSON(t, ts.URL+"/v1/shortcuts", sc, http.StatusAccepted, nil)
+	postJSON(t, ts.URL+"/v1/shortcuts", sc, http.StatusAccepted, nil)
+	postJSON(t, ts.URL+"/v1/shortcuts", sc, http.StatusTooManyRequests, nil)
+
+	// Batch with zero remaining slots: the first item already fails,
+	// reporting zero accepted.
+	var partial struct {
+		Error string      `json:"error"`
+		Jobs  []jobStatus `json:"jobs"`
+	}
+	resp, err := http.Post(ts.URL+"/v1/batch", "application/json",
+		strings.NewReader(`{"requests":[{"graph":"`+g.Graph+`","partition":"singletons"}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("batch into full queue: status %d, want 429", resp.StatusCode)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&partial); err != nil {
+		t.Fatal(err)
+	}
+	if len(partial.Jobs) != 0 || partial.Error == "" {
+		t.Errorf("partial batch report = %+v, want 0 accepted with an error", partial)
+	}
+}
+
+// TestPartitionMemoEvictedOnDelete is the regression test for the memo
+// leak: deleting a graph must drop its partition memo entries and release
+// their budget, and a re-ingested graph must be re-parsed fresh.
+func TestPartitionMemoEvictedOnDelete(t *testing.T) {
+	ts, srv := newTestServer(t, service.Config{Workers: 2}, jobs.Config{})
+
+	var g struct {
+		Graph string `json:"graph"`
+	}
+	postJSON(t, ts.URL+"/v1/graphs", map[string]any{"spec": "grid:8x8"}, http.StatusOK, &g)
+	build := map[string]any{"graph": g.Graph, "partition": "blobs:8", "seed": 1}
+	postJSON(t, ts.URL+"/v1/shortcuts", build, http.StatusOK, nil)
+	if n := srv.partCount.Load(); n != 1 {
+		t.Fatalf("partition memo count after build = %d, want 1", n)
+	}
+	doJSON(t, http.MethodDelete, ts.URL+"/v1/graphs/"+g.Graph, nil, http.StatusOK, nil)
+	if n := srv.partCount.Load(); n != 0 {
+		t.Fatalf("partition memo count after delete = %d, want 0 (budget released)", n)
+	}
+	leaked := 0
+	srv.parts.Range(func(k, v any) bool { leaked++; return true })
+	if leaked != 0 {
+		t.Fatalf("%d memo entries survived the delete", leaked)
+	}
+	// Re-ingest and rebuild: parsed fresh against the new representative.
+	postJSON(t, ts.URL+"/v1/graphs", map[string]any{"spec": "grid:8x8"}, http.StatusOK, &g)
+	postJSON(t, ts.URL+"/v1/shortcuts", build, http.StatusOK, nil)
+	if n := srv.partCount.Load(); n != 1 {
+		t.Errorf("partition memo count after re-ingest = %d, want 1", n)
+	}
+}
+
+// TestConcurrentGraphDeleteRace hammers ingest/delete against concurrent
+// sync builds and async submissions. Run under -race: the nil-dereference
+// window in handleGraphs and any engine/memo race shows up here. Every
+// response must be a well-formed JSON status, never a 5xx.
+func TestConcurrentGraphDeleteRace(t *testing.T) {
+	ts, _ := newTestServer(t, service.Config{Workers: 4, CacheCapacity: 8},
+		jobs.Config{Workers: 2, QueueDepth: 4096})
+
+	// The fingerprint is content-derived, so every re-ingest of the spec
+	// yields the same fp; learn it once.
+	var g struct {
+		Graph string `json:"graph"`
+	}
+	postJSON(t, ts.URL+"/v1/graphs", map[string]any{"spec": "grid:6x6"}, http.StatusOK, &g)
+	fp := g.Graph
+
+	const iters = 60
+	var wg sync.WaitGroup
+	fail := make(chan string, 256)
+	allow := func(who string, code int, allowed ...int) {
+		for _, a := range allowed {
+			if code == a {
+				return
+			}
+		}
+		select {
+		case fail <- fmt.Sprintf("%s: unexpected status %d", who, code):
+		default:
+		}
+	}
+	// Churners: ingest then delete, repeatedly. Two of them, so one's
+	// DELETE lands inside the other's ingest (between AddGraph and the
+	// response) — the exact window of the old nil-dereference panic.
+	for c := 0; c < 2; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				resp, err := http.Post(ts.URL+"/v1/graphs", "application/json",
+					strings.NewReader(`{"spec":"grid:6x6"}`))
+				if err != nil {
+					fail <- err.Error()
+					return
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				allow("ingest", resp.StatusCode, http.StatusOK)
+				req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/graphs/"+fp, nil)
+				dresp, err := http.DefaultClient.Do(req)
+				if err != nil {
+					fail <- err.Error()
+					return
+				}
+				io.Copy(io.Discard, dresp.Body)
+				dresp.Body.Close()
+				allow("delete", dresp.StatusCode, http.StatusOK, http.StatusNotFound)
+			}
+		}()
+	}
+	// Sync builders: 200 when the graph is registered, 404 when the
+	// churner won the race.
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				body := fmt.Sprintf(`{"graph":%q,"partition":"blobs:6","seed":%d}`, fp, i%3)
+				resp, err := http.Post(ts.URL+"/v1/shortcuts", "application/json", strings.NewReader(body))
+				if err != nil {
+					fail <- err.Error()
+					return
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				allow("build", resp.StatusCode, http.StatusOK, http.StatusNotFound)
+			}
+		}(w)
+	}
+	// Async submitter: acceptance must always succeed; the jobs
+	// themselves may fail with unknown-graph, which is fine.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < iters; i++ {
+			body := fmt.Sprintf(`{"graph":%q,"partition":"blobs:6","seed":%d,"async":true}`, fp, i%3)
+			resp, err := http.Post(ts.URL+"/v1/shortcuts", "application/json", strings.NewReader(body))
+			if err != nil {
+				fail <- err.Error()
+				return
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			allow("async", resp.StatusCode, http.StatusAccepted)
+		}
+	}()
+	wg.Wait()
+	close(fail)
+	for msg := range fail {
+		t.Error(msg)
+	}
+	// The daemon is still healthy.
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz after race: %v %v", resp, err)
+	}
+	resp.Body.Close()
+}
+
+// TestRequestBodyLimit proves an oversized body maps to 413, not 400.
+func TestRequestBodyLimit(t *testing.T) {
+	ts, _ := newTestServer(t, service.Config{Workers: 1}, jobs.Config{})
+	// 65 MiB of spec, past the 64 MiB cap.
+	body := append([]byte(`{"spec":"`), bytes.Repeat([]byte{'a'}, 65<<20)...)
+	body = append(body, `"}`...)
+	resp, err := http.Post(ts.URL+"/v1/graphs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized body: status %d, want 413", resp.StatusCode)
+	}
+}
+
+// TestRestartQueuedJobCompletes is the async restart e2e: a job accepted
+// (202) but never dispatched before "SIGTERM" — simulated by tearing the
+// stack down with the dispatcher pool never started — is re-enqueued from
+// the durable store on warm start and completes.
+func TestRestartQueuedJobCompletes(t *testing.T) {
+	dir := t.TempDir()
+	st, err := store.Open(dir, store.Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := service.New(service.Config{Workers: 2, Store: st})
+	srv1, h1 := newServer(eng, jobs.Config{Store: st}) // dispatchers never started
+	ts := httptest.NewServer(h1)
+
+	var g struct {
+		Graph string `json:"graph"`
+	}
+	postJSON(t, ts.URL+"/v1/graphs", map[string]any{"spec": "grid:12x12"}, http.StatusOK, &g)
+	var sub jobStatus
+	postJSON(t, ts.URL+"/v1/shortcuts",
+		map[string]any{"graph": g.Graph, "partition": "blobs:12", "seed": 9, "async": true},
+		http.StatusAccepted, &sub)
+	var snap jobStatus
+	doJSON(t, http.MethodGet, ts.URL+"/v1/jobs/"+sub.ID, nil, http.StatusOK, &snap)
+	if snap.State != "queued" {
+		t.Fatalf("pre-restart job state = %s, want queued", snap.State)
+	}
+	ts.Close()
+	srv1.mgr.Close()
+	eng.Close()
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Restart on the same directory.
+	st2, err := store.Open(dir, store.Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng2 := service.New(service.Config{Workers: 2, Store: st2})
+	defer func() {
+		eng2.Close()
+		st2.Close()
+	}()
+	if _, err := eng2.WarmStart(); err != nil {
+		t.Fatal(err)
+	}
+	srv2, h2 := newServer(eng2, jobs.Config{Store: st2})
+	requeued, err := srv2.mgr.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if requeued != 1 {
+		t.Fatalf("Recover re-enqueued %d jobs, want the 1 accepted pre-restart", requeued)
+	}
+	srv2.mgr.Start()
+	defer srv2.mgr.Close()
+	ts2 := httptest.NewServer(h2)
+	defer ts2.Close()
+
+	js := waitJob(t, ts2.URL, sub.ID)
+	if js.State != "done" {
+		t.Fatalf("post-restart job = %+v, want done", js)
+	}
+	var res struct {
+		Shortcut     string `json:"shortcut"`
+		CoveredParts int    `json:"covered_parts"`
+	}
+	if err := json.Unmarshal(js.Result, &res); err != nil {
+		t.Fatal(err)
+	}
+	if res.CoveredParts != 12 || res.Shortcut == "" {
+		t.Fatalf("post-restart result = %+v, want a valid 12-part shortcut", res)
+	}
+	// The completed record is durable: the store verifies clean and the
+	// job is listed done.
+	if problems := st2.Verify(); len(problems) != 0 {
+		t.Errorf("store verify after drain: %v", problems)
 	}
 }

@@ -1,0 +1,47 @@
+// Package jobs is the asynchronous job manager layered on the serving
+// engine: a bounded queue of durable job records drained through an
+// Executor by a fixed dispatcher pool, with the lifecycle
+//
+//	queued → running → done | failed | canceled
+//
+// persisted transition-by-transition so accepted work survives the
+// process that accepted it.
+//
+// # Role in the DAG
+//
+// The package sits above internal/service and internal/store but imports
+// neither: the Executor callback carries opaque JSON requests and results
+// (cmd/locshortd supplies one that decodes API request bodies and calls
+// the engine), and the Store interface persists opaque payloads keyed by
+// job ID (internal/store implements it with its 'J' record kind, in the
+// same append-only segments as graphs and shortcuts). This keeps the
+// dependency arrows pointing downward — store imports service for the
+// fingerprint scheme and jobs for record decoding; jobs imports only the
+// standard library — and makes the manager testable with a stub executor.
+//
+// # Why async serving exists
+//
+// Every expensive request class in the system — a cold Theorem 3.1
+// shortcut build, a tree-packing MinCut, an MST over a large family —
+// otherwise holds an HTTP connection open for its full duration, so slow
+// builds head-of-line-block closed-loop clients and a client timeout
+// loses the work entirely. Submitting with "async": true (or through
+// POST /v1/batch) decouples acceptance from execution: the caller gets a
+// job ID in milliseconds, the dispatcher drains the work through the
+// engine's worker pool (builds still collapse in the singleflight cache
+// and persist to the content-addressed store), and the result is fetched
+// — long-poll or poll — via GET /v1/jobs/{id}.
+//
+// # Durability contract
+//
+// Submit persists the queued record before acknowledging (a 202 promises
+// the job survives a crash); every later transition is persisted
+// best-effort (Stats.PersistErrors counts failures). Close cancels
+// running executions and durably returns them to queued; Recover — called
+// on warm start, after the engine's own WarmStart — re-enqueues every
+// queued or running record (finalizing those with a pending cancel) and
+// loads terminal records read-only so results remain fetchable across
+// restarts. Re-execution is safe because the underlying builds are
+// content-addressed: a re-run of an interrupted build typically completes
+// from the shortcut store without rebuilding.
+package jobs

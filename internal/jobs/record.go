@@ -1,0 +1,174 @@
+package jobs
+
+import (
+	"encoding/json"
+	"fmt"
+	"strconv"
+)
+
+// ID identifies one async job. It renders as 16 lowercase hex digits like a
+// service fingerprint, but it is drawn at random at submission rather than
+// content-derived: two submissions of the identical request are two distinct
+// jobs (the underlying shortcut build still collapses in the engine's
+// singleflight cache — jobs are units of requested work, not of content).
+type ID uint64
+
+// String renders the ID in the 16-hex-digit wire form used by the
+// locshortd API (`/v1/jobs/{id}`).
+func (id ID) String() string { return fmt.Sprintf("%016x", uint64(id)) }
+
+// ParseID parses the 16-hex-digit wire form.
+func ParseID(s string) (ID, error) {
+	if len(s) != 16 {
+		return 0, fmt.Errorf("jobs: id %q: want 16 hex digits", s)
+	}
+	v, err := strconv.ParseUint(s, 16, 64)
+	if err != nil {
+		return 0, fmt.Errorf("jobs: id %q: %w", s, err)
+	}
+	return ID(v), nil
+}
+
+// MarshalJSON renders the ID as its hex string so durable records and API
+// responses agree on one form.
+func (id ID) MarshalJSON() ([]byte, error) { return json.Marshal(id.String()) }
+
+// UnmarshalJSON parses the hex-string form.
+func (id *ID) UnmarshalJSON(b []byte) error {
+	var s string
+	if err := json.Unmarshal(b, &s); err != nil {
+		return err
+	}
+	v, err := ParseID(s)
+	if err != nil {
+		return err
+	}
+	*id = v
+	return nil
+}
+
+// State is one step of the job lifecycle:
+//
+//	queued → running → done
+//	                 → failed     (after Config.Retries re-runs)
+//	                 → canceled   (DELETE /v1/jobs/{id})
+//
+// A running job interrupted by shutdown or crash transitions back to
+// queued (durably), which is how Recover re-enqueues in-flight work on
+// warm start.
+type State uint8
+
+const (
+	// Queued: accepted (and persisted, when a Store is configured) but not
+	// yet picked up by a dispatcher.
+	Queued State = iota
+	// Running: a dispatcher is executing the job.
+	Running
+	// Done: the executor returned a result; Record.Result holds it.
+	Done
+	// Failed: the executor errored on every allowed attempt; Record.Error
+	// holds the last error.
+	Failed
+	// Canceled: canceled before completion.
+	Canceled
+)
+
+var stateNames = [...]string{"queued", "running", "done", "failed", "canceled"}
+
+// String returns the lowercase wire form ("queued", "running", ...).
+func (s State) String() string {
+	if int(s) < len(stateNames) {
+		return stateNames[s]
+	}
+	return fmt.Sprintf("state(%d)", uint8(s))
+}
+
+// ParseState parses the wire form.
+func ParseState(s string) (State, error) {
+	for i, n := range stateNames {
+		if n == s {
+			return State(i), nil
+		}
+	}
+	return 0, fmt.Errorf("jobs: unknown state %q", s)
+}
+
+// Terminal reports whether no further transition can happen.
+func (s State) Terminal() bool { return s == Done || s == Failed || s == Canceled }
+
+// MarshalJSON renders the state as its wire string.
+func (s State) MarshalJSON() ([]byte, error) { return json.Marshal(s.String()) }
+
+// UnmarshalJSON parses the wire string.
+func (s *State) UnmarshalJSON(b []byte) error {
+	var n string
+	if err := json.Unmarshal(b, &n); err != nil {
+		return err
+	}
+	v, err := ParseState(n)
+	if err != nil {
+		return err
+	}
+	*s = v
+	return nil
+}
+
+// Record is the full durable state of one async job. Every state
+// transition rewrites the whole record under the job ID (newest wins on
+// replay, exactly like the store's content records), so a record read back
+// from disk is always internally consistent.
+type Record struct {
+	ID   ID     `json:"id"`
+	Kind string `json:"kind"`
+	// Request is the original JSON request body, re-executed verbatim on
+	// retry and on post-restart re-enqueue.
+	Request json.RawMessage `json:"request,omitempty"`
+	State   State           `json:"state"`
+	// Attempts counts started executions. Interrupted runs (shutdown,
+	// crash) are not charged against the retry budget.
+	Attempts int `json:"attempts,omitempty"`
+	// CancelRequested is set by Cancel on a running job; the dispatcher
+	// (or, after a crash, Recover) finalizes the cancellation.
+	CancelRequested bool `json:"cancel_requested,omitempty"`
+	// Result is the executor's JSON result, set exactly when State is Done.
+	Result json.RawMessage `json:"result,omitempty"`
+	// Error is the last execution error (set when Failed; kept for
+	// visibility across retries while still queued).
+	Error string `json:"error,omitempty"`
+	// CreatedNs/StartedNs/FinishedNs are wall-clock Unix nanoseconds;
+	// StartedNs is zeroed when an interrupted job goes back to queued.
+	CreatedNs  int64 `json:"created_ns"`
+	StartedNs  int64 `json:"started_ns,omitempty"`
+	FinishedNs int64 `json:"finished_ns,omitempty"`
+}
+
+// recordVersion prefixes every durable payload so the format can evolve;
+// decoders reject unknown versions instead of misreading them.
+const recordVersion = 1
+
+// EncodeRecord renders the durable store payload: one version byte
+// followed by the record JSON. Unlike graph/partition payloads the bytes
+// are not content-addressed (the key is the random job ID and the record
+// mutates), so the frame CRC is the integrity check, not the key.
+func EncodeRecord(r Record) ([]byte, error) {
+	b, err := json.Marshal(r)
+	if err != nil {
+		return nil, fmt.Errorf("jobs: encode record %s: %w", r.ID, err)
+	}
+	return append([]byte{recordVersion}, b...), nil
+}
+
+// DecodeRecord parses a durable payload produced by EncodeRecord.
+func DecodeRecord(b []byte) (Record, error) {
+	var r Record
+	if len(b) < 1 {
+		return r, fmt.Errorf("jobs: empty record payload")
+	}
+	if b[0] != recordVersion {
+		return r, fmt.Errorf("jobs: record payload version %d, want %d", b[0], recordVersion)
+	}
+	if err := json.Unmarshal(b[1:], &r); err != nil {
+		return r, fmt.Errorf("jobs: decode record: %w", err)
+	}
+	return r, nil
+}

@@ -33,6 +33,27 @@ type Config struct {
 	// rebuilding, and WarmStart re-registers every persisted graph on
 	// boot. A nil Store keeps the engine fully in-memory.
 	Store Store
+
+	// The Async* knobs configure the internal/jobs manager layered on
+	// this engine (locshortd builds one from them; see jobs.Config for the
+	// semantics and defaults). The engine itself schedules only
+	// synchronous jobs and never reads these — they live here so one
+	// Config describes the whole serving stack, mirroring how Stats
+	// carries the manager's gauges.
+
+	// AsyncQueueDepth bounds accepted-but-unstarted async jobs
+	// (default 1024); submissions past it are rejected with 429, unlike
+	// the engine's own QueueDepth, which blocks.
+	AsyncQueueDepth int
+	// AsyncWorkers is the async dispatcher concurrency (default 4): how
+	// many async jobs occupy engine workers at once.
+	AsyncWorkers int
+	// AsyncRetries is how many times a failed async job is re-run before
+	// it is recorded failed (default 0).
+	AsyncRetries int
+	// AsyncRetention bounds terminal async job records kept in memory
+	// (default 4096); older results are served from the durable store.
+	AsyncRetention int
 }
 
 func (c Config) withDefaults() Config {

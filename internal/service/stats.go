@@ -65,6 +65,24 @@ type Stats struct {
 
 	// Graphs is the number of distinct graphs registered.
 	Graphs int `json:"graphs"`
+
+	// Async job-manager gauges, filled in by the layer that owns the
+	// internal/jobs manager (the locshortd stats handler) — the engine
+	// itself runs no async jobs, so Engine.Stats leaves them zero.
+	// AsyncQueued and AsyncRunning are gauges over every known job
+	// (including records recovered from the durable store); a drained
+	// queue is AsyncQueued == AsyncRunning == 0. AsyncSubmitted,
+	// AsyncRetries, and AsyncPersistErrors count events in the current
+	// process lifetime; alert on AsyncPersistErrors like StoreErrors.
+	AsyncSubmitted     uint64 `json:"async_submitted"`
+	AsyncQueued        int64  `json:"async_queued"`
+	AsyncRunning       int64  `json:"async_running"`
+	AsyncDone          uint64 `json:"async_done"`
+	AsyncFailed        uint64 `json:"async_failed"`
+	AsyncCanceled      uint64 `json:"async_canceled"`
+	AsyncRetries       uint64 `json:"async_retries"`
+	AsyncPersistErrors uint64 `json:"async_persist_errors"`
+	AsyncRecoverSkip   uint64 `json:"async_recover_skipped"`
 }
 
 // HitRate returns hits / (hits + misses), or 0 before any lookup.

@@ -15,6 +15,12 @@
 // ID in canonical edge order so they decode correctly against whatever
 // representative graph a future process holds.
 //
+// The store also carries the async job records of internal/jobs ('J'
+// frames in the same segments). Those are the one non-content-addressed
+// kind — keyed by random job ID, superseded in place as the job's state
+// advances — and they are what lets a locshortd restart re-enqueue
+// accepted-but-unfinished work (DESIGN.md §7).
+//
 // Durability model: framed records with CRC-32C checksums appended to
 // numbered segment files, fsync per append, newest-record-wins replay,
 // tombstones for graph deletion, torn-tail truncation and corrupt-record
@@ -25,8 +31,9 @@
 // # Role in the DAG
 //
 // Depends on internal/graph, internal/partition, internal/tree,
-// internal/shortcut, and internal/service (for the fingerprint scheme and
+// internal/shortcut, internal/service (for the fingerprint scheme and
 // the Store interface it implements — the interface lives in service so
-// the dependency points downward). Consumed by cmd/locshortd and
-// cmd/locshortctl.
+// the dependency points downward), and internal/jobs (record decoding
+// for verification; store likewise implements jobs.Store). Consumed by
+// cmd/locshortd and cmd/locshortctl.
 package store

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"locshort/internal/graph"
+	"locshort/internal/jobs"
 	"locshort/internal/partition"
 	"locshort/internal/service"
 	"locshort/internal/shortcut"
@@ -30,7 +31,7 @@ import (
 //
 //	offset  size  field
 //	0       1     kind: 'G' graph, 'P' partition, 'S' shortcut,
-//	              'T' graph tombstone
+//	              'J' async job record, 'T' graph tombstone
 //	1       8     key (big-endian content fingerprint)
 //	9       4     payload length (big-endian)
 //	13      4     CRC-32C over kind ‖ key ‖ length ‖ payload
@@ -56,6 +57,7 @@ const (
 	kindGraph     = 'G'
 	kindPartition = 'P'
 	kindShortcut  = 'S'
+	kindJob       = 'J'
 	kindTombstone = 'T'
 )
 
@@ -88,8 +90,8 @@ func (o Options) withDefaults() Options {
 type OpenStats struct {
 	// Segments is the number of segment files.
 	Segments int
-	// Graphs, Partitions, Shortcuts count live records by kind.
-	Graphs, Partitions, Shortcuts int
+	// Graphs, Partitions, Shortcuts, Jobs count live records by kind.
+	Graphs, Partitions, Shortcuts, Jobs int
 	// Bytes is the total size of all segment files.
 	Bytes int64
 	// CorruptSkipped counts records dropped for checksum mismatch.
@@ -160,7 +162,10 @@ type Store struct {
 // entries.
 const permCacheLimit = 256
 
-var _ service.Store = (*Store)(nil)
+var (
+	_ service.Store = (*Store)(nil)
+	_ jobs.Store    = (*Store)(nil)
+)
 
 // Open opens (creating if necessary) the store rooted at dir, replaying
 // every segment into the in-memory index and repairing a torn tail.
@@ -343,7 +348,7 @@ func (s *Store) replaySegment(seq int) error {
 				ref.graphFP, ref.partFP = meta.graphFP, meta.partFP
 				s.indexPut(kind, key, ref)
 			}
-		case kindGraph, kindPartition:
+		case kindGraph, kindPartition, kindJob:
 			s.indexPut(kind, key, ref)
 		default:
 			s.open.CorruptSkipped++
@@ -393,7 +398,7 @@ func (s *Store) applyTombstone(graphFP service.Fingerprint) {
 // recount refreshes the by-kind counters in OpenStats.
 func (s *Store) recount() {
 	s.open.Segments = len(s.segs)
-	s.open.Graphs, s.open.Partitions, s.open.Shortcuts = 0, 0, 0
+	s.open.Graphs, s.open.Partitions, s.open.Shortcuts, s.open.Jobs = 0, 0, 0, 0
 	s.open.Bytes = 0
 	for _, seg := range s.segs {
 		s.open.Bytes += seg.size
@@ -406,6 +411,8 @@ func (s *Store) recount() {
 			s.open.Partitions++
 		case kindShortcut:
 			s.open.Shortcuts++
+		case kindJob:
+			s.open.Jobs++
 		}
 	}
 }
@@ -678,6 +685,62 @@ func (s *Store) GetShortcut(key service.Fingerprint, g *graph.Graph, parts *part
 	return res, bt, true, nil
 }
 
+// PutJob durably writes (or supersedes) an async job record under its job
+// ID. Implements jobs.Store. Unlike the content-addressed kinds the
+// payload mutates over a job's lifecycle, so every call appends; the
+// newest record wins on replay and GC compacts the superseded ones.
+func (s *Store) PutJob(id uint64, payload []byte) error {
+	s.writeMu.Lock()
+	defer s.writeMu.Unlock()
+	return s.appendRecord(kindJob, service.Fingerprint(id), payload)
+}
+
+// GetJob returns the live job record payload for id, if any.
+func (s *Store) GetJob(id uint64) ([]byte, bool, error) {
+	s.mu.RLock()
+	ref, ok := s.index[indexKey{kind: kindJob, key: service.Fingerprint(id)}]
+	if !ok {
+		s.mu.RUnlock()
+		return nil, false, nil
+	}
+	payload, err := s.readPayload(ref)
+	s.mu.RUnlock()
+	if err != nil {
+		return nil, false, err
+	}
+	return payload, true, nil
+}
+
+// EachJob calls fn for every live job record, ascending by ID. Implements
+// jobs.Store (used by Manager.Recover on warm start).
+func (s *Store) EachJob(fn func(id uint64, payload []byte) error) error {
+	s.mu.RLock()
+	refs := make(map[service.Fingerprint]recordRef)
+	for ik, ref := range s.index {
+		if ik.kind == kindJob {
+			refs[ik.key] = ref
+		}
+	}
+	s.mu.RUnlock()
+	ids := make([]service.Fingerprint, 0, len(refs))
+	for id := range refs {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		s.mu.RLock()
+		payload, err := s.readPayload(refs[id])
+		s.mu.RUnlock()
+		if err != nil {
+			return err
+		}
+		if err := fn(uint64(id), payload); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // DeleteGraph appends a tombstone hiding the graph record and every
 // shortcut built on it; deleting an absent graph writes nothing.
 // Implements service.Store. Space is reclaimed by the next GC.
@@ -702,7 +765,7 @@ func (s *Store) DeleteGraph(fp service.Fingerprint) error {
 
 // RecordInfo describes one live record for listings.
 type RecordInfo struct {
-	// Kind is "graph", "partition", or "shortcut".
+	// Kind is "graph", "partition", "shortcut", or "job".
 	Kind string
 	Key  service.Fingerprint
 	// Segment and Offset locate the record on disk; Bytes is the framed
@@ -724,6 +787,8 @@ func kindName(kind byte) string {
 		return "partition"
 	case kindShortcut:
 		return "shortcut"
+	case kindJob:
+		return "job"
 	}
 	return fmt.Sprintf("kind(%c)", kind)
 }
@@ -842,6 +907,19 @@ func (s *Store) Verify() []Problem {
 			}
 			if _, _, err := decodeShortcut(payload, r.ik.key, s.perm(g), g, parts); err != nil {
 				bad(r.ik.kind, r.ik.key, err)
+			}
+		case kindJob:
+			// Job records are not content-addressed (random IDs, mutable
+			// state), so verification is structural: the payload decodes
+			// and its embedded ID matches the record key.
+			rec, err := jobs.DecodeRecord(payload)
+			if err != nil {
+				bad(r.ik.kind, r.ik.key, err)
+				continue
+			}
+			if uint64(rec.ID) != uint64(r.ik.key) {
+				bad(r.ik.kind, r.ik.key,
+					fmt.Errorf("record claims job id %s", rec.ID))
 			}
 		}
 	}

@@ -13,6 +13,7 @@ import (
 
 	"locshort/internal/cli"
 	"locshort/internal/graph"
+	"locshort/internal/jobs"
 	"locshort/internal/partition"
 	"locshort/internal/service"
 	"locshort/internal/shortcut"
@@ -692,4 +693,113 @@ func TestVerifySurvivesEmptyPartitionPayload(t *testing.T) {
 	if len(problems) != 1 || problems[0].Kind != "partition" {
 		t.Errorf("verify = %v, want exactly one partition problem", problems)
 	}
+}
+
+// TestJobRecords exercises the 'J' record kind: newest-wins updates,
+// replay across reopen, GC survival, verification, and corrupt-payload
+// reporting.
+func TestJobRecords(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir)
+
+	mkrec := func(id uint64, state jobs.State, created int64) []byte {
+		payload, err := jobs.EncodeRecord(jobs.Record{
+			ID:        jobs.ID(id),
+			Kind:      "shortcut",
+			Request:   []byte(`{"graph":"x"}`),
+			State:     state,
+			CreatedNs: created,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return payload
+	}
+	if err := s.PutJob(7, mkrec(7, jobs.Queued, 100)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.PutJob(9, mkrec(9, jobs.Queued, 200)); err != nil {
+		t.Fatal(err)
+	}
+	// Supersede job 7: running, then done. Newest must win.
+	if err := s.PutJob(7, mkrec(7, jobs.Running, 100)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.PutJob(7, mkrec(7, jobs.Done, 100)); err != nil {
+		t.Fatal(err)
+	}
+
+	check := func(stage string) {
+		t.Helper()
+		payload, ok, err := s.GetJob(7)
+		if err != nil || !ok {
+			t.Fatalf("%s: GetJob(7) = (ok=%v, %v)", stage, ok, err)
+		}
+		rec, err := jobs.DecodeRecord(payload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rec.State != jobs.Done {
+			t.Errorf("%s: job 7 state = %s, want the newest record (done)", stage, rec.State)
+		}
+		var ids []uint64
+		if err := s.EachJob(func(id uint64, payload []byte) error {
+			if _, err := jobs.DecodeRecord(payload); err != nil {
+				return err
+			}
+			ids = append(ids, id)
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if len(ids) != 2 || ids[0] != 7 || ids[1] != 9 {
+			t.Errorf("%s: EachJob ids = %v, want [7 9] ascending", stage, ids)
+		}
+		if st := s.OpenStats(); st.Jobs != 2 {
+			t.Errorf("%s: OpenStats.Jobs = %d, want 2", stage, st.Jobs)
+		}
+		if problems := s.Verify(); len(problems) != 0 {
+			t.Errorf("%s: verify: %v", stage, problems)
+		}
+	}
+	check("fresh")
+	s.Close()
+	s = mustOpen(t, dir)
+	check("after reopen")
+
+	// Records lists jobs with their kind.
+	jobsSeen := 0
+	for _, r := range s.Records() {
+		if r.Kind == "job" {
+			jobsSeen++
+		}
+	}
+	if jobsSeen != 2 {
+		t.Errorf("Records lists %d job rows, want 2", jobsSeen)
+	}
+
+	// GC compacts the superseded versions of job 7 but keeps the live
+	// records.
+	gc, err := s.GC()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gc.ReclaimedBytes <= 0 {
+		t.Errorf("gc reclaimed %d bytes, want > 0 (two superseded job records)", gc.ReclaimedBytes)
+	}
+	check("after gc")
+
+	// A record whose embedded ID disagrees with its key is a verify
+	// problem, as is an undecodable payload.
+	if err := s.PutJob(11, mkrec(12, jobs.Queued, 300)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.PutJob(13, []byte{0xff, 'g', 'a', 'r'}); err != nil {
+		t.Fatal(err)
+	}
+	problems := s.Verify()
+	if len(problems) != 2 {
+		t.Fatalf("verify problems = %v, want exactly the two bad job records", problems)
+	}
+	s.Close()
 }
