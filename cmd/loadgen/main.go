@@ -50,6 +50,14 @@
 //	hit/cold median speedup: 51.5x
 //	store/cold median speedup: 13.3x (warm start vs rebuild)
 //	server: 11 builds, ... 16 store hits / 11 store misses
+//	server POST /v1/shortcuts:  1243  p50 0.9ms  p99 40.1ms
+//
+// Before generating load, loadgen polls the daemon's GET /readyz (warm
+// start and job recovery run behind the live listener); at the end of the
+// run it scrapes GET /metrics and prints the server-side per-route p50/p99
+// next to the client-side numbers above — the difference between the two
+// is queueing and transport cost the handlers never saw. Both probes
+// degrade silently against a daemon that predates them.
 //
 // The restart-recovery scenario: run loadgen against a daemon started with
 // -data, SIGTERM the daemon, restart it on the same directory, and run the
@@ -75,6 +83,7 @@ import (
 	"sync"
 	"time"
 
+	"locshort/internal/obs"
 	"locshort/internal/service"
 )
 
@@ -210,6 +219,13 @@ func run() error {
 	}
 	c := &client{base: base, hc: &http.Client{Timeout: 5 * time.Minute}}
 
+	// Wait out the daemon's warm start: the listener binds before the store
+	// replays, and /v1/ requests 503 until GET /readyz flips. A 404 means a
+	// pre-readiness daemon — proceed as before.
+	if err := awaitReady(c, 30*time.Second); err != nil {
+		return err
+	}
+
 	// Register the catalog up front and keep the fingerprints.
 	specs := strings.Split(*catalog, ";")
 	fps := make([]string, len(specs))
@@ -337,6 +353,11 @@ func run() error {
 			stats.Stats.AsyncSubmitted, stats.Stats.AsyncQueued, stats.Stats.AsyncRunning,
 			stats.Stats.AsyncDone, stats.Stats.AsyncFailed, stats.Stats.AsyncCanceled)
 	}
+	// End-of-run /metrics scrape: the server-side per-route latency view
+	// next to the client-side one above. A gap between the two is queueing
+	// or transport cost the server never saw; matching numbers mean the
+	// latency lives in the handlers. Daemons without /metrics skip this.
+	reportServerMetrics(c, base)
 	if *requireHits && stats.Stats.CacheHits == 0 {
 		return fmt.Errorf("require-hits: server reports zero cache hits")
 	}
@@ -344,6 +365,69 @@ func run() error {
 		return fmt.Errorf("require-store-hits: server reports zero durable-store hits")
 	}
 	return nil
+}
+
+// awaitReady polls GET /readyz until the daemon reports ready, the probe
+// 404s (daemon predates /readyz), or the deadline passes.
+func awaitReady(c *client, wait time.Duration) error {
+	deadline := time.Now().Add(wait)
+	for {
+		resp, err := c.hc.Get(c.base + "/readyz")
+		if err == nil {
+			io.Copy(io.Discard, io.LimitReader(resp.Body, 512))
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK || resp.StatusCode == http.StatusNotFound {
+				return nil
+			}
+		}
+		if time.Now().After(deadline) {
+			if err != nil {
+				return fmt.Errorf("daemon never became ready within %v: %w", wait, err)
+			}
+			return fmt.Errorf("daemon never became ready within %v", wait)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+}
+
+// reportServerMetrics prints the daemon's own per-route latency quantiles
+// from /metrics, best-effort: absence (pre-metrics daemon) is silent,
+// parse failures are reported but never fail the run.
+func reportServerMetrics(c *client, base string) {
+	resp, err := c.hc.Get(base + "/metrics")
+	if err != nil {
+		return
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return
+	}
+	sc, err := obs.ParsePrometheus(resp.Body)
+	if err != nil {
+		fmt.Printf("server metrics: unparseable: %v\n", err)
+		return
+	}
+	routes := map[string]bool{}
+	for _, s := range sc.Matching("locshort_http_request_seconds_count", nil) {
+		if r := s.Label("route"); r != "" {
+			routes[r] = true
+		}
+	}
+	names := make([]string, 0, len(routes))
+	for r := range routes {
+		names = append(names, r)
+	}
+	sort.Strings(names)
+	for _, route := range names {
+		h, ok := sc.Histogram("locshort_http_request_seconds", obs.Labels{"route": route})
+		if !ok || h.Count() == 0 {
+			continue
+		}
+		fmt.Printf("server %-22s %-6d p50 %-10v p99 %v\n",
+			route+":", h.Count(),
+			time.Duration(h.Quantile(0.5)*float64(time.Second)).Round(10*time.Microsecond),
+			time.Duration(h.Quantile(0.99)*float64(time.Second)).Round(10*time.Microsecond))
+	}
 }
 
 func report(samples []sample, submits []time.Duration, errs int, d time.Duration) {

@@ -12,9 +12,17 @@
 //	locshortctl -data DIR jobs ls          list async job records
 //	locshortctl -data DIR jobs inspect <id>  decode one job (request, result, error)
 //	locshortctl -data DIR jobs cancel <id>   cancel a queued/interrupted job offline
+//	locshortctl -addr HOST:PORT top        live terminal view over a RUNNING daemon
 //
-// The store is single-owner: run locshortctl against a stopped daemon or a
-// copied directory, never against the directory of a live locshortd.
+// `top` is the one online subcommand: it scrapes the daemon's /metrics on
+// an interval (-interval, default 2s; -once for a single snapshot) and
+// renders throughput, hit ratios, queue depths, and per-route latency
+// quantiles from the deltas between scrapes. It needs only -addr — no
+// -data — because it never touches the store directory.
+//
+// Every other subcommand works offline on the store directory, which is
+// single-owner: run them against a stopped daemon or a copied directory,
+// never against the directory of a live locshortd.
 // `jobs cancel` exists exactly for that offline window: a job accepted by
 // a daemon that went down re-runs on the next warm start unless it is
 // canceled here first. See OPERATIONS.md for the backup / GC / verify /
@@ -42,13 +50,37 @@ func main() {
 }
 
 func usage() error {
-	return fmt.Errorf("usage: locshortctl -data DIR {ls | inspect <fp> | verify | gc | jobs {ls | inspect <id> | cancel <id>}}")
+	return fmt.Errorf("usage: locshortctl -data DIR {ls | inspect <fp> | verify | gc | jobs {ls | inspect <id> | cancel <id>}} | locshortctl -addr HOST:PORT top")
 }
 
 func run() error {
-	data := flag.String("data", "", "store directory (required)")
+	data := flag.String("data", "", "store directory (required for offline subcommands)")
+	addr := flag.String("addr", "", "daemon address for the top subcommand")
+	interval := flag.Duration("interval", 2*time.Second, "top: delay between /metrics scrapes")
+	once := flag.Bool("once", false, "top: print one snapshot and exit (no screen clearing)")
 	flag.Parse()
-	if *data == "" || flag.NArg() < 1 {
+	if flag.NArg() < 1 {
+		return usage()
+	}
+	// top is the one subcommand that talks to a live daemon instead of an
+	// offline store directory, so it routes before the -data check. Its
+	// flags are re-parsed from the args after the subcommand word, so both
+	// `locshortctl -addr A top` and `locshortctl top -addr A -once` work
+	// (flag parsing stops at the first positional argument).
+	if flag.Arg(0) == "top" {
+		tf := flag.NewFlagSet("top", flag.ContinueOnError)
+		taddr := tf.String("addr", *addr, "daemon address")
+		tinterval := tf.Duration("interval", *interval, "delay between /metrics scrapes")
+		tonce := tf.Bool("once", *once, "print one snapshot and exit (no screen clearing)")
+		if err := tf.Parse(flag.Args()[1:]); err != nil {
+			return err
+		}
+		if *taddr == "" {
+			return fmt.Errorf("top needs -addr HOST:PORT (the daemon's listen address)")
+		}
+		return runTop(normalizeAddr(*taddr), *tinterval, *tonce)
+	}
+	if *data == "" {
 		return usage()
 	}
 	// Unlike the daemon, an admin tool must not conjure an empty store out

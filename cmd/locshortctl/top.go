@@ -1,0 +1,235 @@
+package main
+
+import (
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+	"time"
+
+	"locshort/internal/obs"
+)
+
+// runTop is the live terminal view over a running daemon's /metrics: it
+// scrapes on an interval and renders throughput, hit ratios, queue depths,
+// and per-route latency quantiles from the deltas between consecutive
+// scrapes — so the numbers are "what is happening now", not since-boot
+// averages. -once takes a single scrape (cumulative numbers) and exits,
+// which is the mode scripts and CI want.
+func runTop(addr string, interval time.Duration, once bool) error {
+	if interval <= 0 {
+		interval = 2 * time.Second
+	}
+	prev, prevAt, err := scrapeMetrics(addr)
+	if err != nil {
+		return err
+	}
+	if once {
+		render(addr, prev, nil, 0)
+		return nil
+	}
+	for {
+		time.Sleep(interval)
+		cur, curAt, err := scrapeMetrics(addr)
+		if err != nil {
+			return err
+		}
+		// ANSI clear + home: repaint in place like top(1).
+		fmt.Print("\x1b[2J\x1b[H")
+		render(addr, cur, prev, curAt.Sub(prevAt))
+		prev, prevAt = cur, curAt
+	}
+}
+
+func scrapeMetrics(addr string) (*obs.Scrape, time.Time, error) {
+	resp, err := http.Get("http://" + addr + "/metrics")
+	if err != nil {
+		return nil, time.Time{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, time.Time{}, fmt.Errorf("GET /metrics: status %d", resp.StatusCode)
+	}
+	sc, err := obs.ParsePrometheus(resp.Body)
+	if err != nil {
+		return nil, time.Time{}, fmt.Errorf("parse /metrics: %w", err)
+	}
+	return sc, time.Now(), nil
+}
+
+// val reads one sample, defaulting to 0 when the family has not appeared
+// yet (e.g. no request has hit a route).
+func val(sc *obs.Scrape, name string, labels obs.Labels) float64 {
+	v, _ := sc.Value(name, labels)
+	return v
+}
+
+// delta is cur-prev for a cumulative counter, clamped at 0 across a
+// daemon restart; with no previous scrape it degrades to the cumulative
+// value.
+func delta(cur, prev *obs.Scrape, name string, labels obs.Labels) float64 {
+	c := val(cur, name, labels)
+	if prev == nil {
+		return c
+	}
+	if d := c - val(prev, name, labels); d > 0 {
+		return d
+	}
+	return 0
+}
+
+func render(addr string, cur, prev *obs.Scrape, elapsed time.Duration) {
+	ratio := func(hit, total float64) string {
+		if total == 0 {
+			return "-"
+		}
+		return fmt.Sprintf("%.1f%%", 100*hit/total)
+	}
+	perSec := func(n float64) string {
+		if prev == nil || elapsed <= 0 {
+			return fmt.Sprintf("%.0f total", n)
+		}
+		return fmt.Sprintf("%.1f/s", n/elapsed.Seconds())
+	}
+
+	window := "since boot"
+	if prev != nil {
+		window = fmt.Sprintf("last %v", elapsed.Round(100*time.Millisecond))
+	}
+	fmt.Printf("locshortd %s  (%s)  %s\n\n", addr, window, time.Now().Format("15:04:05"))
+
+	hits := delta(cur, prev, "locshort_engine_cache_hits_total", nil)
+	misses := delta(cur, prev, "locshort_engine_cache_misses_total", nil)
+	builds := delta(cur, prev, "locshort_engine_builds_total", nil)
+	sHit := delta(cur, prev, "locshort_engine_store_reads_total", obs.Labels{"outcome": "hit"})
+	sMiss := delta(cur, prev, "locshort_engine_store_reads_total", obs.Labels{"outcome": "miss"})
+	fmt.Printf("engine  lookups %s  hit %s  builds %s  errors %.0f  cache %.0f entries / %.0f graphs\n",
+		perSec(hits+misses), ratio(hits, hits+misses), perSec(builds),
+		val(cur, "locshort_engine_build_errors_total", nil),
+		val(cur, "locshort_engine_cache_entries", nil),
+		val(cur, "locshort_engine_graphs", nil))
+	fmt.Printf("        queue %.0f  running %.0f  store reads %s (hit %s)  writes %s  errors %.0f\n",
+		val(cur, "locshort_engine_queue_depth", nil),
+		val(cur, "locshort_engine_jobs_running", nil),
+		perSec(sHit+sMiss), ratio(sHit, sHit+sMiss),
+		perSec(delta(cur, prev, "locshort_engine_store_writes_total", nil)),
+		val(cur, "locshort_engine_store_errors_total", nil))
+	fmt.Printf("async   queued %.0f  running %.0f  submitted %s  done %.0f  failed %.0f  retries %.0f\n",
+		val(cur, "locshort_jobs_queued", nil),
+		val(cur, "locshort_jobs_running", nil),
+		perSec(delta(cur, prev, "locshort_jobs_submitted_total", nil)),
+		val(cur, "locshort_jobs_finished_total", obs.Labels{"outcome": "done"}),
+		val(cur, "locshort_jobs_finished_total", obs.Labels{"outcome": "failed"}),
+		val(cur, "locshort_jobs_retries_total", nil))
+	if cur.HasFamily("locshort_store_bytes") {
+		fmt.Printf("store   %.0f segments  %s  appends %s  fsync p99 %s\n",
+			val(cur, "locshort_store_segments", nil),
+			fmtBytes(val(cur, "locshort_store_bytes", nil)),
+			perSec(sumMatching(cur, prev, "locshort_store_appends_total")),
+			quantileOf(cur, prev, "locshort_store_fsync_seconds", nil, 0.99))
+	}
+	fmt.Printf("http    in-flight %.0f\n\n", val(cur, "locshort_http_in_flight", nil))
+
+	// Per-route table from the HTTP histograms: quantiles over the
+	// interval's observations (cumulative when there is no interval yet).
+	routes := routeNames(cur)
+	if len(routes) == 0 {
+		fmt.Println("no HTTP traffic observed yet")
+		return
+	}
+	w := 0
+	for _, r := range routes {
+		if len(r) > w {
+			w = len(r)
+		}
+	}
+	fmt.Printf("%-*s  %12s  %9s  %9s  %10s\n", w, "ROUTE", "THROUGHPUT", "P50", "P99", "COUNT")
+	for _, route := range routes {
+		h, ok := cur.Histogram("locshort_http_request_seconds", obs.Labels{"route": route})
+		if !ok {
+			continue
+		}
+		snap := h
+		if prev != nil {
+			if ph, ok := prev.Histogram("locshort_http_request_seconds", obs.Labels{"route": route}); ok {
+				snap = h.Sub(ph)
+			}
+		}
+		p50, p99 := "-", "-"
+		if snap.Count() > 0 {
+			p50 = fmtSeconds(snap.Quantile(0.5))
+			p99 = fmtSeconds(snap.Quantile(0.99))
+		}
+		fmt.Printf("%-*s  %12s  %9s  %9s  %10.0f\n",
+			w, route, perSec(float64(snap.Count())), p50, p99, float64(h.Count()))
+	}
+}
+
+// routeNames enumerates the route label values seen by the HTTP layer,
+// sorted for a stable table.
+func routeNames(sc *obs.Scrape) []string {
+	seen := map[string]bool{}
+	for _, s := range sc.Matching("locshort_http_request_seconds_count", nil) {
+		if r := s.Label("route"); r != "" && !seen[r] {
+			seen[r] = true
+		}
+	}
+	routes := make([]string, 0, len(seen))
+	for r := range seen {
+		routes = append(routes, r)
+	}
+	sort.Strings(routes)
+	return routes
+}
+
+// sumMatching totals the interval delta of every series in a counter
+// family (e.g. appends across record kinds).
+func sumMatching(cur, prev *obs.Scrape, name string) float64 {
+	total := 0.0
+	for _, s := range cur.Matching(name, nil) {
+		total += delta(cur, prev, name, s.Labels)
+	}
+	return total
+}
+
+// quantileOf renders a quantile of a histogram family over the interval,
+// "-" when it has no observations.
+func quantileOf(cur, prev *obs.Scrape, name string, labels obs.Labels, q float64) string {
+	h, ok := cur.Histogram(name, labels)
+	if !ok {
+		return "-"
+	}
+	if prev != nil {
+		if ph, ok := prev.Histogram(name, labels); ok {
+			h = h.Sub(ph)
+		}
+	}
+	if h.Count() == 0 {
+		return "-"
+	}
+	return fmtSeconds(h.Quantile(q))
+}
+
+func fmtSeconds(s float64) string {
+	return time.Duration(s * float64(time.Second)).Round(10 * time.Microsecond).String()
+}
+
+func fmtBytes(b float64) string {
+	switch {
+	case b >= 1<<30:
+		return fmt.Sprintf("%.1f GiB", b/(1<<30))
+	case b >= 1<<20:
+		return fmt.Sprintf("%.1f MiB", b/(1<<20))
+	case b >= 1<<10:
+		return fmt.Sprintf("%.1f KiB", b/(1<<10))
+	}
+	return fmt.Sprintf("%.0f B", b)
+}
+
+// normalizeAddr is a tolerant addr normalizer: accepts "host:port" and
+// "http://host:port" forms so `locshortctl top` composes with -addrfile
+// contents and copy-pasted URLs alike.
+func normalizeAddr(addr string) string {
+	addr = strings.TrimPrefix(addr, "http://")
+	return strings.TrimSuffix(addr, "/")
+}

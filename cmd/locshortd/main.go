@@ -7,6 +7,7 @@
 //	locshortd [-addr 127.0.0.1:8080] [-workers N] [-cache N] [-queue N]
 //	          [-async-queue N] [-async-workers N] [-retries N]
 //	          [-data DIR] [-addrfile PATH] [-pprof ADDR]
+//	          [-slow-request DUR] [-traces N] [-quiet]
 //
 // Endpoints:
 //
@@ -20,7 +21,17 @@
 //	GET    /v1/jobs/{id}   fetch one async job (?wait= long-polls for completion)
 //	DELETE /v1/jobs/{id}   cancel an async job
 //	GET    /v1/stats       engine counters, async gauges, hit rate, uptime
-//	GET    /healthz        liveness
+//	GET    /v1/traces      recent build traces with per-stage timings (?n= bounds)
+//	GET    /metrics        Prometheus text exposition of every subsystem
+//	GET    /healthz        liveness: 200 once the listener is bound
+//	GET    /readyz         readiness: 200 once warm start + job recovery finished
+//
+// The listener binds before the durable store replays, so /healthz and
+// /readyz answer during a long warm start; /v1/ requests are rejected
+// with 503 until /readyz flips. Every request is logged as a structured
+// key=value line to stderr (suppress with -quiet); requests at or over
+// -slow-request escalate to warn with the build's per-stage breakdown.
+// See OPERATIONS.md §Monitoring for the metric catalog and scrape config.
 //
 // Any /v1/shortcuts or /v1/jobs body with "async": true — and every
 // /v1/batch item — is accepted with 202 and a job ID instead of holding
@@ -63,10 +74,12 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"sync/atomic"
 	"syscall"
 	"time"
 
 	"locshort/internal/jobs"
+	"locshort/internal/obs"
 	"locshort/internal/service"
 	"locshort/internal/store"
 )
@@ -90,8 +103,18 @@ func run() error {
 		addrfile     = flag.String("addrfile", "", "write the bound address to this file")
 		pprofA       = flag.String("pprof", "", "serve net/http/pprof on this address (empty: disabled)")
 		data         = flag.String("data", "", "durable store directory (empty: in-memory only)")
+		slowReq      = flag.Duration("slow-request", 0, "warn with a build-stage breakdown for requests at least this slow (0: disabled)")
+		traceCap     = flag.Int("traces", 128, "build traces retained for GET /v1/traces")
+		quiet        = flag.Bool("quiet", false, "suppress per-request log lines (metrics and traces stay on)")
 	)
 	flag.Parse()
+
+	reg := obs.NewRegistry()
+	tracer := obs.NewTracer(*traceCap)
+	var logger *obs.Logger
+	if !*quiet {
+		logger = obs.NewLogger(os.Stderr)
+	}
 
 	cfg := service.Config{
 		Workers:         *workers,
@@ -101,11 +124,13 @@ func run() error {
 		AsyncWorkers:    *asyncWorkers,
 		AsyncRetries:    *retries,
 		AsyncRetention:  *asyncKeep,
+		Obs:             reg,
+		Tracer:          tracer,
 	}
 	var st *store.Store
 	if *data != "" {
 		var err error
-		st, err = store.Open(*data, store.Options{})
+		st, err = store.Open(*data, store.Options{Obs: reg})
 		if err != nil {
 			return fmt.Errorf("open store: %w", err)
 		}
@@ -114,50 +139,33 @@ func run() error {
 	}
 	eng := service.New(cfg)
 	defer eng.Close()
-	if st != nil {
-		loaded, err := eng.WarmStart()
-		if err != nil {
-			return fmt.Errorf("warm start: %w", err)
-		}
-		ss := st.OpenStats()
-		log.Printf("locshortd: warm start from %s: %d graphs, %d shortcut records, %d job records in %d segments (%d bytes)",
-			st.Dir(), loaded, ss.Shortcuts, ss.Jobs, ss.Segments, ss.Bytes)
-		if ss.CorruptSkipped > 0 || ss.TruncatedBytes > 0 {
-			log.Printf("locshortd: store repair on open: %d corrupt records skipped, %d bytes truncated",
-				ss.CorruptSkipped, ss.TruncatedBytes)
-		}
-	}
 
 	jcfg := jobs.Config{
 		QueueDepth: cfg.AsyncQueueDepth,
 		Workers:    cfg.AsyncWorkers,
 		Retries:    cfg.AsyncRetries,
 		Retention:  cfg.AsyncRetention,
+		Obs:        reg,
 	}
 	if st != nil {
 		jcfg.Store = st
 	}
-	srv, handler := newServer(eng, jcfg)
+	// ready gates the /v1/ API and GET /readyz: the listener binds first
+	// (below) so probes answer during a long store replay, and the flag
+	// flips only after warm start, job recovery, and dispatcher start.
+	var ready atomic.Bool
+	srv, handler := newServer(eng, jcfg, serverOptions{
+		reg:         reg,
+		tracer:      tracer,
+		logger:      logger,
+		slowRequest: *slowReq,
+		ready:       ready.Load,
+	})
 	mgr := srv.mgr
 	// Close order (LIFO with the defers above): manager first, so
 	// interrupted async runs go durably back to queued, then the engine
 	// (drains detached persists), then the store.
 	defer mgr.Close()
-	if st != nil {
-		// Recover after WarmStart: re-enqueued jobs reference graphs the
-		// engine must already know.
-		requeued, err := mgr.Recover()
-		if err != nil {
-			return fmt.Errorf("job recovery: %w", err)
-		}
-		if requeued > 0 {
-			log.Printf("locshortd: re-enqueued %d interrupted async jobs", requeued)
-		}
-		if skipped := mgr.Stats().RecoverSkipped; skipped > 0 {
-			log.Printf("locshortd: skipped %d undecodable job records (inspect with locshortctl)", skipped)
-		}
-	}
-	mgr.Start()
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -200,6 +208,38 @@ func run() error {
 
 	errc := make(chan error, 1)
 	go func() { errc <- hsrv.Serve(ln) }()
+
+	// Warm start and job recovery run behind the live listener: /healthz
+	// and /readyz (503 "starting") answer while the store replays, and
+	// /v1/ requests are rejected with 503 until the flip below.
+	if st != nil {
+		loaded, err := eng.WarmStart()
+		if err != nil {
+			return fmt.Errorf("warm start: %w", err)
+		}
+		ss := st.OpenStats()
+		log.Printf("locshortd: warm start from %s: %d graphs, %d shortcut records, %d job records in %d segments (%d bytes)",
+			st.Dir(), loaded, ss.Shortcuts, ss.Jobs, ss.Segments, ss.Bytes)
+		if ss.CorruptSkipped > 0 || ss.TruncatedBytes > 0 {
+			log.Printf("locshortd: store repair on open: %d corrupt records skipped, %d bytes truncated",
+				ss.CorruptSkipped, ss.TruncatedBytes)
+		}
+		// Recover after WarmStart: re-enqueued jobs reference graphs the
+		// engine must already know.
+		requeued, err := mgr.Recover()
+		if err != nil {
+			return fmt.Errorf("job recovery: %w", err)
+		}
+		if requeued > 0 {
+			log.Printf("locshortd: re-enqueued %d interrupted async jobs", requeued)
+		}
+		if skipped := mgr.Stats().RecoverSkipped; skipped > 0 {
+			log.Printf("locshortd: skipped %d undecodable job records (inspect with locshortctl)", skipped)
+		}
+	}
+	mgr.Start()
+	ready.Store(true)
+
 	select {
 	case err := <-errc:
 		return err

@@ -1,0 +1,263 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"locshort/internal/obs"
+)
+
+// serverOptions carries the observability wiring into newServer. The zero
+// value is fully functional (tests construct servers without any of it):
+// every field is optional and nil-guarded.
+type serverOptions struct {
+	reg    *obs.Registry // nil: GET /metrics serves 404, no HTTP metrics
+	tracer *obs.Tracer   // nil: GET /v1/traces serves an empty list
+	logger *obs.Logger   // nil: no request log lines
+	// slowRequest escalates a request log line to warn level — with the
+	// build's stage breakdown attached — when the request takes at least
+	// this long. Zero disables the escalation.
+	slowRequest time.Duration
+	// ready gates the /v1/ API: until it reports true, /v1/ requests are
+	// rejected with 503 and GET /readyz stays not-ready. nil: always ready.
+	// main flips it after warm start, job recovery, and dispatcher start,
+	// so a restarting daemon never serves cache misses it is about to
+	// warm-fill, and CI can poll /readyz instead of sleeping.
+	ready func() bool
+}
+
+// errStarting is the 503 body served on /v1/ routes before readiness.
+var errStarting = errors.New("starting: warm start and job recovery in progress")
+
+// httpMetrics is the per-route HTTP instrumentation: a latency histogram
+// per route pattern and a counter per (route, status code) pair. Both are
+// cached under an RWMutex keyed by comparable values, so steady-state
+// requests take two read-locked map hits and touch only atomics — the
+// Registry (which allocates a Labels map per lookup) is consulted only the
+// first time a (route, code) appears.
+type httpMetrics struct {
+	reg      *obs.Registry
+	inFlight *obs.Gauge
+
+	mu     sync.RWMutex
+	durs   map[string]*obs.Histogram
+	counts map[routeCode]*obs.Counter
+}
+
+type routeCode struct {
+	route string
+	code  int
+}
+
+func newHTTPMetrics(reg *obs.Registry) *httpMetrics {
+	if reg == nil {
+		return nil
+	}
+	return &httpMetrics{
+		reg: reg,
+		inFlight: reg.Gauge("locshort_http_in_flight",
+			"Requests currently being served.", nil),
+		durs:   make(map[string]*obs.Histogram),
+		counts: make(map[routeCode]*obs.Counter),
+	}
+}
+
+func (m *httpMetrics) observe(route string, code int, d time.Duration) {
+	if m == nil {
+		return
+	}
+	m.mu.RLock()
+	h := m.durs[route]
+	c := m.counts[routeCode{route, code}]
+	m.mu.RUnlock()
+	if h == nil || c == nil {
+		m.mu.Lock()
+		if h = m.durs[route]; h == nil {
+			h = m.reg.Histogram("locshort_http_request_seconds",
+				"Wall time of HTTP requests, by route pattern.",
+				nil, obs.Labels{"route": route})
+			m.durs[route] = h
+		}
+		key := routeCode{route, code}
+		if c = m.counts[key]; c == nil {
+			c = m.reg.Counter("locshort_http_requests_total",
+				"HTTP requests served, by route pattern and status code.",
+				obs.Labels{"route": route, "code": strconv.Itoa(code)})
+			m.counts[key] = c
+		}
+		m.mu.Unlock()
+	}
+	h.Observe(d)
+	c.Inc()
+}
+
+// reqInfo is the per-request annotation record: the middleware plants one
+// in the request context and handlers deep in the shared execution path
+// (buildShortcut) fill in what they learned, so the request log line can
+// say which graph and shortcut a request touched and which latency class
+// served it. One goroutine owns a request, so the fields are unsynchronized.
+type reqInfo struct {
+	graph    string // graph fingerprint
+	shortcut string // shortcut key
+	source   string // "cache" | "store" | "built"
+}
+
+type reqInfoKey struct{}
+
+// annotate runs fn on the context's reqInfo, if the request came through
+// the instrumented HTTP path. Async dispatcher contexts carry no reqInfo,
+// so job re-execution annotates nothing.
+func annotate(ctx context.Context, fn func(*reqInfo)) {
+	if ri, ok := ctx.Value(reqInfoKey{}).(*reqInfo); ok {
+		fn(ri)
+	}
+}
+
+// statusRecorder captures the response status for the request log and the
+// per-(route, code) counters. A handler that never calls WriteHeader
+// implicitly wrote 200.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusRecorder) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// instrument wraps the whole mux: readiness gate, request ID, timing,
+// per-route metrics, and one structured log line per request. It reads
+// r.Pattern after the mux ran, so the route label is the registered
+// pattern ("POST /v1/shortcuts"), never the raw URL — label cardinality
+// stays bounded by the route table.
+func (s *server) instrument(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if s.ready != nil && !s.ready() && strings.HasPrefix(r.URL.Path, "/v1/") {
+			httpError(w, http.StatusServiceUnavailable, errStarting)
+			return
+		}
+		id := obs.NewRequestID()
+		start := time.Now()
+		ri := &reqInfo{}
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		if s.metrics != nil {
+			s.metrics.inFlight.Add(1)
+		}
+		r = r.WithContext(context.WithValue(r.Context(), reqInfoKey{}, ri))
+		next.ServeHTTP(rec, r)
+		dur := time.Since(start)
+		route := r.Pattern // set by the mux during ServeHTTP
+		if route == "" {
+			route = "unmatched"
+		}
+		if s.metrics != nil {
+			s.metrics.inFlight.Add(-1)
+			s.metrics.observe(route, rec.status, dur)
+		}
+		s.logRequest(id, route, rec.status, dur, ri)
+	})
+}
+
+// logRequest emits the structured request line. Requests at or over the
+// slow-request threshold escalate to warn and carry the build's per-stage
+// breakdown, so a slow cold build is diagnosable from the log alone.
+func (s *server) logRequest(id, route string, status int, dur time.Duration, ri *reqInfo) {
+	if s.logger == nil {
+		return
+	}
+	kv := make([]any, 0, 16)
+	kv = append(kv, "id", id, "route", route, "code", status, "dur", dur)
+	if ri.graph != "" {
+		kv = append(kv, "graph", ri.graph)
+	}
+	if ri.shortcut != "" {
+		kv = append(kv, "shortcut", ri.shortcut)
+	}
+	if ri.source != "" {
+		kv = append(kv, "source", ri.source)
+	}
+	if s.slowRequest > 0 && dur >= s.slowRequest {
+		if stages := s.stageSummary(ri.shortcut); stages != "" {
+			kv = append(kv, "stages", stages)
+		}
+		s.logger.Warn("slow_request", kv...)
+		return
+	}
+	s.logger.Info("request", kv...)
+}
+
+// stageSummary renders the span breakdown of the most recent retained
+// trace for the given shortcut key ("choose_root=1.2ms bfs_tree=..."),
+// or "" when no trace for it is retained. Slow requests are rare, so a
+// linear scan over the recent ring is fine.
+func (s *server) stageSummary(shortcut string) string {
+	if s.tracer == nil || shortcut == "" {
+		return ""
+	}
+	for _, t := range s.tracer.Recent(0) {
+		if t.Fingerprint != shortcut {
+			continue
+		}
+		parts := make([]string, len(t.Spans))
+		for i, sp := range t.Spans {
+			parts[i] = sp.Name + "=" + time.Duration(sp.DurNs).String()
+		}
+		return strings.Join(parts, " ")
+	}
+	return ""
+}
+
+// handleMetrics serves the Prometheus text exposition of every registered
+// family: engine, builder stages, async jobs, durable store, and this
+// HTTP layer. See OPERATIONS.md §Monitoring for the catalog.
+func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if s.obsReg == nil {
+		http.NotFound(w, r)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if err := s.obsReg.WritePrometheus(w); err != nil {
+		// Headers are gone; all we can do is log.
+		if s.logger != nil {
+			s.logger.Error("metrics_write", "err", err.Error())
+		}
+	}
+}
+
+// handleTraces serves the retained build traces, newest first. ?n= bounds
+// the count (default: everything retained).
+func (s *server) handleTraces(w http.ResponseWriter, r *http.Request) {
+	n := 0
+	if ns := r.URL.Query().Get("n"); ns != "" {
+		v, err := strconv.Atoi(ns)
+		if err != nil || v < 0 {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("bad n %q: want a non-negative integer", ns))
+			return
+		}
+		n = v
+	}
+	traces := []*obs.Trace{}
+	if s.tracer != nil {
+		traces = s.tracer.Recent(n)
+	}
+	writeJSON(w, map[string]any{"traces": traces})
+}
+
+// handleReadyz is the readiness probe: 200 once warm start, job recovery,
+// and the async dispatchers are up; 503 before. Distinct from /healthz
+// (liveness), which is 200 the moment the listener binds.
+func (s *server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if s.ready != nil && !s.ready() {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, "starting")
+		return
+	}
+	fmt.Fprintln(w, "ready")
+}

@@ -16,6 +16,7 @@ import (
 	"locshort/internal/dist"
 	"locshort/internal/graph"
 	"locshort/internal/jobs"
+	"locshort/internal/obs"
 	"locshort/internal/partition"
 	"locshort/internal/service"
 )
@@ -30,6 +31,14 @@ type server struct {
 	eng   *service.Engine
 	mgr   *jobs.Manager
 	start time.Time
+	// Observability wiring (see obs.go); all optional, nil when the server
+	// is constructed with a zero serverOptions.
+	obsReg      *obs.Registry
+	tracer      *obs.Tracer
+	logger      *obs.Logger
+	metrics     *httpMetrics
+	slowRequest time.Duration
+	ready       func() bool
 	// parts memoizes the (graph, partition spec, seed) → Partition
 	// translation, which is deterministic but costs a BFS per request;
 	// without it, partition parsing dominates cache-hit latency. The memo
@@ -50,9 +59,19 @@ const partMemoLimit = 4096
 // newServer builds the HTTP API over eng plus an async job manager
 // configured by jcfg. The caller owns the manager lifecycle: Recover
 // (after the engine's WarmStart) and Start before serving, Close on
-// shutdown before the engine closes.
-func newServer(eng *service.Engine, jcfg jobs.Config) (*server, http.Handler) {
-	s := &server{eng: eng, start: time.Now()}
+// shutdown before the engine closes. o wires the observability layer —
+// the zero value serves the API with no instrumentation.
+func newServer(eng *service.Engine, jcfg jobs.Config, o serverOptions) (*server, http.Handler) {
+	s := &server{
+		eng:         eng,
+		start:       time.Now(),
+		obsReg:      o.reg,
+		tracer:      o.tracer,
+		logger:      o.logger,
+		metrics:     newHTTPMetrics(o.reg),
+		slowRequest: o.slowRequest,
+		ready:       o.ready,
+	}
 	s.mgr = jobs.New(jcfg, s.execAsync)
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/graphs", s.handleGraphs)
@@ -65,11 +84,14 @@ func newServer(eng *service.Engine, jcfg jobs.Config) (*server, http.Handler) {
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobGet)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobCancel)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("GET /v1/traces", s.handleTraces)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.WriteHeader(http.StatusOK)
 		fmt.Fprintln(w, "ok")
 	})
-	return s, mux
+	return s, s.instrument(mux)
 }
 
 // httpError is the uniform error envelope.
@@ -372,6 +394,14 @@ func (s *server) buildShortcut(ctx context.Context, req shortcutRequest) (shortc
 	if !hit {
 		source = c.Source.String()
 	}
+	// Annotate the request log (no-op off the HTTP path): which graph and
+	// shortcut this request resolved to, and the latency class that served
+	// it — the three facts a slow-request investigation starts from.
+	annotate(ctx, func(ri *reqInfo) {
+		ri.graph = c.GraphFP.String()
+		ri.shortcut = c.Key.String()
+		ri.source = source
+	})
 	return shortcutResponse{
 		Shortcut:     c.Key.String(),
 		Graph:        c.GraphFP.String(),
@@ -834,7 +864,17 @@ func (s *server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
+// snapshotStats is the single merge path for engine and async-manager
+// counters: every consumer (the /v1/stats handler today; anything added
+// later) must go through it. The read order is load-bearing: engine
+// counters are sampled FIRST, manager counters SECOND. A job's build is
+// recorded by the engine strictly after the manager recorded its
+// submission, so sampling the engine at t1 and the manager at t2 > t1 can
+// only see submissions the engine-side work hasn't landed for yet — never
+// the reverse. One response can therefore never report more async-driven
+// builds than job submissions, which the old two-reads-in-the-handler
+// arrangement did not guarantee against reordering edits.
+func (s *server) snapshotStats() service.Stats {
 	st := s.eng.Stats()
 	if s.mgr != nil {
 		js := s.mgr.Stats()
@@ -848,6 +888,11 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 		st.AsyncPersistErrors = js.PersistErrors
 		st.AsyncRecoverSkip = js.RecoverSkipped
 	}
+	return st
+}
+
+func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
+	st := s.snapshotStats()
 	writeJSON(w, map[string]any{
 		"stats":          st,
 		"hit_rate":       st.HitRate(),

@@ -25,7 +25,7 @@ import (
 func newTestServer(t *testing.T, cfg service.Config, jcfg jobs.Config) (*httptest.Server, *server) {
 	t.Helper()
 	eng := service.New(cfg)
-	srv, h := newServer(eng, jcfg)
+	srv, h := newServer(eng, jcfg, serverOptions{})
 	srv.mgr.Start()
 	ts := httptest.NewServer(h)
 	t.Cleanup(func() {
@@ -276,7 +276,7 @@ func TestRestartWarmStart(t *testing.T) {
 		t.Fatal(err)
 	}
 	eng := service.New(service.Config{Workers: 2, Store: st})
-	srv1, h1 := newServer(eng, jobs.Config{Store: st})
+	srv1, h1 := newServer(eng, jobs.Config{Store: st}, serverOptions{})
 	srv1.mgr.Start()
 	ts := httptest.NewServer(h1)
 
@@ -316,7 +316,7 @@ func TestRestartWarmStart(t *testing.T) {
 	if n, err := eng2.WarmStart(); err != nil || n != 1 {
 		t.Fatalf("WarmStart = (%d, %v), want (1, nil)", n, err)
 	}
-	srv2, h2 := newServer(eng2, jobs.Config{Store: st2})
+	srv2, h2 := newServer(eng2, jobs.Config{Store: st2}, serverOptions{})
 	srv2.mgr.Start()
 	defer srv2.mgr.Close()
 	ts2 := httptest.NewServer(h2)
@@ -384,7 +384,7 @@ func TestGraphListAndDelete(t *testing.T) {
 		eng.Close()
 		st.Close()
 	}()
-	srv, h := newServer(eng, jobs.Config{Store: st})
+	srv, h := newServer(eng, jobs.Config{Store: st}, serverOptions{})
 	srv.mgr.Start()
 	defer srv.mgr.Close()
 	ts := httptest.NewServer(h)
@@ -692,7 +692,7 @@ func TestAsyncQueueFull(t *testing.T) {
 	defer eng.Close()
 	// Manager deliberately not started: nothing drains, so the depth-2
 	// queue saturates deterministically.
-	srv, h := newServer(eng, jobs.Config{QueueDepth: 2})
+	srv, h := newServer(eng, jobs.Config{QueueDepth: 2}, serverOptions{})
 	defer srv.mgr.Close()
 	ts := httptest.NewServer(h)
 	defer ts.Close()
@@ -896,7 +896,7 @@ func TestRestartQueuedJobCompletes(t *testing.T) {
 		t.Fatal(err)
 	}
 	eng := service.New(service.Config{Workers: 2, Store: st})
-	srv1, h1 := newServer(eng, jobs.Config{Store: st}) // dispatchers never started
+	srv1, h1 := newServer(eng, jobs.Config{Store: st}, serverOptions{}) // dispatchers never started
 	ts := httptest.NewServer(h1)
 
 	var g struct {
@@ -932,7 +932,7 @@ func TestRestartQueuedJobCompletes(t *testing.T) {
 	if _, err := eng2.WarmStart(); err != nil {
 		t.Fatal(err)
 	}
-	srv2, h2 := newServer(eng2, jobs.Config{Store: st2})
+	srv2, h2 := newServer(eng2, jobs.Config{Store: st2}, serverOptions{})
 	requeued, err := srv2.mgr.Recover()
 	if err != nil {
 		t.Fatal(err)

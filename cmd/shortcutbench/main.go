@@ -90,6 +90,19 @@ func run() error {
 			return err
 		}
 		fmt.Printf("wrote %s (%d records)\n", path, len(rep.Records))
+		if o := rep.ObsOverhead; o != nil {
+			fmt.Printf("obs overhead on %s cold builds: staged %v vs plain %v (%+.2f%%)\n",
+				o.Family, time.Duration(o.StagedNsPerOp).Round(10*time.Microsecond),
+				time.Duration(o.PlainNsPerOp).Round(10*time.Microsecond), o.OverheadPct)
+			// The observability acceptance gate: stage collection must stay
+			// inside ~2% of an uninstrumented cold build. Quick-mode
+			// instances are too small to time the effect, so only the full
+			// run enforces it.
+			if !*quick && o.OverheadPct > bench.ObsOverheadMaxPct {
+				return fmt.Errorf("stage-collection overhead %.2f%% exceeds the %.1f%% bound",
+					o.OverheadPct, bench.ObsOverheadMaxPct)
+			}
+		}
 	}
 	if violations > 0 {
 		return fmt.Errorf("%d bound violations — see NO cells above", violations)

@@ -39,6 +39,72 @@ type Report struct {
 	Quick     bool          `json:"quick"`
 	Seed      int64         `json:"seed"`
 	Records   []BenchRecord `json:"records"`
+	// ObsOverhead is the measured cost of build-stage collection
+	// (Options.CollectStages, what the daemon's tracing turns on for every
+	// cold build) against the identical uninstrumented build.
+	ObsOverhead *ObsOverhead `json:"obs_overhead,omitempty"`
+}
+
+// ObsOverheadMaxPct is the acceptance bound on stage-collection overhead:
+// a cold build with CollectStages must cost at most ~2% more than the
+// same build without it (the extra 0.5 is measurement headroom — best-of
+// interleaved runs still carry sub-percent scheduler noise). shortcutbench
+// enforces the bound in full (non-quick) mode; quick-mode instances are
+// too small to time a 2% effect meaningfully.
+const ObsOverheadMaxPct = 2.5
+
+// ObsOverhead compares cold-build cost with and without stage collection
+// on the Builder acceptance family.
+type ObsOverhead struct {
+	Family        string `json:"family"`
+	PlainNsPerOp  int64  `json:"plain_ns_per_op"`
+	StagedNsPerOp int64  `json:"staged_ns_per_op"`
+	// OverheadPct = 100 * (staged - plain) / plain; negative values (noise)
+	// are reported as measured.
+	OverheadPct float64 `json:"overhead_pct"`
+}
+
+// measureObsOverhead times interleaved plain/staged cold builds (best-of,
+// sequential Builder) on grid:64x64 — the Builder's allocation-budget
+// acceptance family. Interleaving pairs the two variants under the same
+// scheduler and thermal conditions; best-of damps one-sided outliers.
+func measureObsOverhead(cfg Config) (*ObsOverhead, error) {
+	side := 64
+	if cfg.Quick {
+		side = 16
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	g := graph.Grid(side, side)
+	p, err := partition.BFSBlobs(g, side, rng)
+	if err != nil {
+		return nil, err
+	}
+	const iters = 5
+	bestPlain, bestStaged := int64(-1), int64(-1)
+	for i := 0; i < iters; i++ {
+		start := time.Now()
+		if _, err := shortcut.Build(g, p, shortcut.Options{Parallelism: 1}); err != nil {
+			return nil, err
+		}
+		plain := time.Since(start).Nanoseconds()
+		start = time.Now()
+		if _, err := shortcut.Build(g, p, shortcut.Options{Parallelism: 1, CollectStages: true}); err != nil {
+			return nil, err
+		}
+		staged := time.Since(start).Nanoseconds()
+		if bestPlain < 0 || plain < bestPlain {
+			bestPlain = plain
+		}
+		if bestStaged < 0 || staged < bestStaged {
+			bestStaged = staged
+		}
+	}
+	return &ObsOverhead{
+		Family:        fmt.Sprintf("grid:%dx%d", side, side),
+		PlainNsPerOp:  bestPlain,
+		StagedNsPerOp: bestStaged,
+		OverheadPct:   100 * float64(bestStaged-bestPlain) / float64(bestPlain),
+	}, nil
 }
 
 // buildTimingIters builds each family this many times and records the
@@ -140,6 +206,9 @@ func JSONReport(cfg Config, now time.Time) (*Report, error) {
 			BuildAllocsPerOp: int64(after.Mallocs-before.Mallocs) / buildTimingIters,
 			BuildBytesPerOp:  int64(after.TotalAlloc-before.TotalAlloc) / buildTimingIters,
 		})
+	}
+	if rep.ObsOverhead, err = measureObsOverhead(cfg); err != nil {
+		return nil, err
 	}
 	return rep, nil
 }

@@ -11,6 +11,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"locshort/internal/obs"
 )
 
 // Executor runs one job. kind and request are exactly what Submit was
@@ -59,6 +61,11 @@ type Config struct {
 	// Recover re-enqueues interrupted work after a restart. A nil Store
 	// keeps the manager fully in-memory.
 	Store Store
+	// Obs, when non-nil, registers the manager's metric families:
+	// func-backed counters/gauges over the existing Stats fields (read at
+	// scrape time) plus execution, queue-wait, and persist latency
+	// histograms.
+	Obs *obs.Registry
 }
 
 func (c Config) withDefaults() Config {
@@ -172,6 +179,50 @@ type Manager struct {
 
 	quit chan struct{} // closed by Close; unblocks Wait
 	wg   sync.WaitGroup
+
+	// metrics is nil unless Config.Obs was set.
+	metrics *managerMetrics
+}
+
+// managerMetrics holds the manager's observed histograms; counters and
+// gauges are func-backed over Stats and never dual-written.
+type managerMetrics struct {
+	execSeconds    *obs.Histogram // executor run time per attempt
+	queueWait      *obs.Histogram // submission (or re-queue) to dispatch
+	persistSeconds *obs.Histogram // durable record write latency
+}
+
+func newManagerMetrics(r *obs.Registry, m *Manager) *managerMetrics {
+	mm := &managerMetrics{
+		execSeconds: r.Histogram("locshort_jobs_exec_seconds",
+			"Executor run time per async job attempt.", nil, nil),
+		queueWait: r.Histogram("locshort_jobs_queue_wait_seconds",
+			"Time async jobs spent queued before a dispatcher picked them up.", nil, nil),
+		persistSeconds: r.Histogram("locshort_jobs_persist_seconds",
+			"Durable job-record write latency (includes fsync).", nil, nil),
+	}
+	stat := func(load func(Stats) float64) func() float64 {
+		return func() float64 { return load(m.Stats()) }
+	}
+	r.CounterFunc("locshort_jobs_submitted_total", "Async jobs accepted this process lifetime.", nil,
+		stat(func(s Stats) float64 { return float64(s.Submitted) }))
+	r.CounterFunc("locshort_jobs_finished_total", "Async jobs finished, by outcome.", obs.Labels{"outcome": "done"},
+		stat(func(s Stats) float64 { return float64(s.Done) }))
+	r.CounterFunc("locshort_jobs_finished_total", "Async jobs finished, by outcome.", obs.Labels{"outcome": "failed"},
+		stat(func(s Stats) float64 { return float64(s.Failed) }))
+	r.CounterFunc("locshort_jobs_finished_total", "Async jobs finished, by outcome.", obs.Labels{"outcome": "canceled"},
+		stat(func(s Stats) float64 { return float64(s.Canceled) }))
+	r.CounterFunc("locshort_jobs_retries_total", "Failed async job attempts that were re-queued.", nil,
+		stat(func(s Stats) float64 { return float64(s.Retries) }))
+	r.CounterFunc("locshort_jobs_persist_errors_total", "Failed durable job-record writes (best-effort; alert here).", nil,
+		stat(func(s Stats) float64 { return float64(s.PersistErrors) }))
+	r.CounterFunc("locshort_jobs_recover_skipped_total", "Durable job records Recover could not decode.", nil,
+		stat(func(s Stats) float64 { return float64(s.RecoverSkipped) }))
+	r.GaugeFunc("locshort_jobs_queued", "Async jobs accepted but not yet dispatched.", nil,
+		stat(func(s Stats) float64 { return float64(s.Queued) }))
+	r.GaugeFunc("locshort_jobs_running", "Async jobs currently executing.", nil,
+		stat(func(s Stats) float64 { return float64(s.Running) }))
+	return mm
 }
 
 // New creates a manager; no dispatcher runs until Start.
@@ -186,6 +237,9 @@ func New(cfg Config, exec Executor) *Manager {
 		quit: make(chan struct{}),
 	}
 	m.cond = sync.NewCond(&m.mu)
+	if m.cfg.Obs != nil {
+		m.metrics = newManagerMetrics(m.cfg.Obs, m)
+	}
 	return m
 }
 
@@ -563,9 +617,13 @@ func (m *Manager) flush(p persistReq) {
 	if p.seq <= p.j.written {
 		return
 	}
+	start := time.Now()
 	if err := m.cfg.Store.PutJob(uint64(p.rec.ID), payload); err != nil {
 		m.persistErrs.Add(1)
 		return
+	}
+	if m.metrics != nil {
+		m.metrics.persistSeconds.Observe(time.Since(start))
 	}
 	p.j.written = p.seq
 }
@@ -601,6 +659,11 @@ func (m *Manager) dispatcher() {
 		j.rec.State = Running
 		j.rec.Attempts++
 		j.rec.StartedNs = time.Now().UnixNano()
+		if m.metrics != nil && j.rec.Attempts == 1 {
+			// First attempt only: a retry's CreatedNs is the original
+			// submission, which would charge the failed run to queue wait.
+			m.metrics.queueWait.Observe(time.Duration(j.rec.StartedNs - j.rec.CreatedNs))
+		}
 		m.queuedN--
 		m.runningN++
 		pp := m.snapshotLocked(j)
@@ -608,7 +671,11 @@ func (m *Manager) dispatcher() {
 		m.mu.Unlock()
 		m.flush(pp)
 
+		execStart := time.Now()
 		result, err := m.exec(ctx, kind, request)
+		if m.metrics != nil {
+			m.metrics.execSeconds.Observe(time.Since(execStart))
+		}
 		// Read before cancel(): whether the run was interrupted through
 		// its context (Close or Cancel), as opposed to failing on its own
 		// while a shutdown happened to be in progress.

@@ -11,6 +11,7 @@ import (
 
 	"locshort/internal/dist"
 	"locshort/internal/graph"
+	"locshort/internal/obs"
 	"locshort/internal/partition"
 	"locshort/internal/shortcut"
 )
@@ -54,6 +55,21 @@ type Config struct {
 	// AsyncRetention bounds terminal async job records kept in memory
 	// (default 4096); older results are served from the durable store.
 	AsyncRetention int
+
+	// Obs, when non-nil, is the metrics registry the engine registers its
+	// families into: func-backed counters/gauges over the existing atomic
+	// Stats counters (read at scrape time, so the hot path never
+	// dual-writes) plus build/load/persist/measure/job latency histograms
+	// and the aggregated Builder stage histograms. Warm cache hits record
+	// through pre-resolved histogram pointers and stay allocation-free.
+	Obs *obs.Registry
+	// Tracer, when non-nil, retains a stage trace per shortcut
+	// construction: store check, every doubling-search level, the accepted
+	// level's sweep/assemble split, and the first quality measurement. The
+	// trace is assembled on the cold path only (Options.CollectStages is
+	// forced on for instrumented builds) and published when the entry is
+	// first measured.
+	Tracer *obs.Tracer
 }
 
 func (c Config) withDefaults() Config {
@@ -110,11 +126,32 @@ type Cached struct {
 	routingOnce sync.Once
 	routing     *dist.PARouting
 	routingErr  error
+
+	// trace is the construction's pending stage trace (nil when tracing is
+	// off); the first Quality call appends the "measure" span, publishes to
+	// tracer, and clears it. qualityOnce guarantees a single publisher.
+	trace      *obs.TraceBuilder
+	tracer     *obs.Tracer
+	engMetrics *engineMetrics
 }
 
-// Quality measures the shortcut, memoized for the cache residency.
+// Quality measures the shortcut, memoized for the cache residency. The
+// first call completes and publishes the entry's construction trace, so a
+// trace's total duration spans build start through first measurement.
 func (c *Cached) Quality() shortcut.Quality {
-	c.qualityOnce.Do(func() { c.quality = shortcut.Measure(c.Result.Shortcut) })
+	c.qualityOnce.Do(func() {
+		start := time.Now()
+		c.quality = shortcut.Measure(c.Result.Shortcut)
+		d := time.Since(start)
+		if m := c.engMetrics; m != nil {
+			m.measureSeconds.Observe(d)
+		}
+		if c.trace != nil {
+			c.trace.Add("measure", c.trace.Elapsed()-d, d)
+			c.tracer.Publish(c.trace.Finish())
+			c.trace = nil
+		}
+	})
 	return c.quality
 }
 
@@ -156,6 +193,9 @@ type Engine struct {
 	persists sync.WaitGroup
 
 	counters counters
+	// metrics is nil unless Config.Obs was set; every record site
+	// nil-checks it, so the uninstrumented engine pays one branch.
+	metrics *engineMetrics
 }
 
 // New starts an engine with cfg's worker pool and cache.
@@ -169,6 +209,9 @@ func New(cfg Config) *Engine {
 	}
 	e.builders.New = func() any { return shortcut.NewBuilder() }
 	e.cache = newCache(cfg.CacheShards, cfg.CacheCapacity, &e.counters)
+	if cfg.Obs != nil {
+		e.metrics = newEngineMetrics(cfg.Obs, e)
+	}
 	e.wg.Add(cfg.Workers)
 	for i := 0; i < cfg.Workers; i++ {
 		go e.worker()
@@ -333,7 +376,11 @@ func (e *Engine) worker() {
 			e.counters.running.Add(1)
 			start := time.Now()
 			j.run(j.ctx)
-			e.counters.jobNs.Add(time.Since(start).Nanoseconds())
+			d := time.Since(start)
+			e.counters.jobNs.Add(d.Nanoseconds())
+			if e.metrics != nil {
+				e.metrics.jobSeconds.Observe(d)
+			}
 			e.counters.running.Add(-1)
 			close(j.done)
 		}
@@ -419,26 +466,48 @@ func (e *Engine) Build(ctx context.Context, req BuildRequest) (c *Cached, hit bo
 		// individually via getOrBuild, while the construction itself runs
 		// to completion and warms the cache.
 		return submit(e, context.WithoutCancel(ctx), func(context.Context) (*Cached, error) {
+			// The trace (when tracing is on) is assembled here, behind the
+			// singleflight, so every construction yields exactly one trace
+			// no matter how many callers joined the build. It is published
+			// on the entry's first quality measurement (locshortd measures
+			// immediately after building), which contributes the final
+			// "measure" span.
+			var tb *obs.TraceBuilder
+			if e.cfg.Tracer != nil {
+				tb = obs.StartTrace("build")
+				tb.SetFingerprint(key.String())
+			}
 			// Store-first: a persisted build from a previous process (or
 			// one evicted from the LRU) is reloaded instead of rebuilt.
 			// This sits behind the singleflight, so a restart stampede on
 			// one key costs one store read, not N rebuilds. A failed load
 			// falls through to a fresh construction.
 			if st := e.cfg.Store; st != nil {
+				loadStart := time.Now()
 				res, bt, ok, err := st.GetShortcut(key, g, req.Parts)
+				loadDur := time.Since(loadStart)
+				if tb != nil {
+					tb.Add("store_check", 0, loadDur)
+				}
 				switch {
 				case err != nil:
 					e.counters.storeErrs.Add(1)
 				case ok:
 					e.counters.storeHits.Add(1)
+					if e.metrics != nil {
+						e.metrics.loadSeconds.Observe(loadDur)
+					}
 					return &Cached{
-						Key:       key,
-						GraphFP:   req.Graph,
-						G:         g,
-						Parts:     req.Parts,
-						Result:    res,
-						BuildTime: bt,
-						Source:    SourceStore,
+						Key:        key,
+						GraphFP:    req.Graph,
+						G:          g,
+						Parts:      req.Parts,
+						Result:     res,
+						BuildTime:  bt,
+						Source:     SourceStore,
+						trace:      tb,
+						tracer:     e.cfg.Tracer,
+						engMetrics: e.metrics,
 					}, nil
 				default:
 					e.counters.storeMisses.Add(1)
@@ -446,8 +515,15 @@ func (e *Engine) Build(ctx context.Context, req BuildRequest) (c *Cached, hit bo
 			}
 			bld := e.builders.Get().(*shortcut.Builder)
 			defer e.builders.Put(bld)
+			buildOpts := req.Options
+			if tb != nil {
+				// Timing-only: CollectStages never changes the shortcut and
+				// is excluded from content addressing, so the key computed
+				// from req.Options above still matches.
+				buildOpts.CollectStages = true
+			}
 			start := time.Now()
-			res, err := bld.Build(g, req.Parts, req.Options)
+			res, err := bld.Build(g, req.Parts, buildOpts)
 			if err != nil {
 				e.counters.buildErrs.Add(1)
 				return nil, err
@@ -455,14 +531,29 @@ func (e *Engine) Build(ctx context.Context, req BuildRequest) (c *Cached, hit bo
 			d := time.Since(start)
 			e.counters.builds.Add(1)
 			e.counters.buildNs.Add(d.Nanoseconds())
+			if e.metrics != nil {
+				e.metrics.buildSeconds.Observe(d)
+				e.metrics.observeStages(res.Stages)
+			}
+			if tb != nil {
+				// Stage offsets are relative to the Build call; shift them
+				// onto the trace clock.
+				off := tb.Elapsed() - d
+				for _, st := range res.Stages {
+					tb.Add(st.Name, off+st.Start, st.Dur)
+				}
+			}
 			c := &Cached{
-				Key:       key,
-				GraphFP:   req.Graph,
-				G:         g,
-				Parts:     req.Parts,
-				Result:    res,
-				BuildTime: d,
-				Source:    SourceBuilt,
+				Key:        key,
+				GraphFP:    req.Graph,
+				G:          g,
+				Parts:      req.Parts,
+				Result:     res,
+				BuildTime:  d,
+				Source:     SourceBuilt,
+				trace:      tb,
+				tracer:     e.cfg.Tracer,
+				engMetrics: e.metrics,
 			}
 			if st := e.cfg.Store; st != nil {
 				// Persist detached, like the build itself: the caller's
@@ -473,10 +564,14 @@ func (e *Engine) Build(ctx context.Context, req BuildRequest) (c *Cached, hit bo
 				e.persists.Add(1)
 				go func() {
 					defer e.persists.Done()
+					pStart := time.Now()
 					if err := st.PutShortcut(key, req.Graph, req.Parts, req.Options, res, d); err != nil {
 						e.counters.storeErrs.Add(1)
 					} else {
 						e.counters.storeWrites.Add(1)
+						if e.metrics != nil {
+							e.metrics.persistSeconds.Observe(time.Since(pStart))
+						}
 					}
 				}()
 			}

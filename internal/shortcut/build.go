@@ -4,6 +4,7 @@ import (
 	"errors"
 	"math/bits"
 	"math/rand"
+	"time"
 
 	"locshort/internal/graph"
 	"locshort/internal/minor"
@@ -46,6 +47,23 @@ type Options struct {
 	CertAttempts int
 	// Rng drives certificate sampling; required only when Certify is set.
 	Rng *rand.Rand
+	// CollectStages, when set, records a wall-clock stage breakdown — tree
+	// construction, every doubling-search level tried, and the accepted
+	// level's sweep/assemble split — into Result.Stages and the level
+	// sequence into Result.LevelsTried. Timing-only: the constructed
+	// shortcut is identical with or without it, so the service layer
+	// excludes it from content addressing exactly like Parallelism.
+	CollectStages bool
+}
+
+// Stage is one timed phase of a Build call: Start is the offset from the
+// start of the call, Dur the phase's wall-clock cost. For the speculative
+// parallel search, level stages overlap in time; the accepted level's
+// cumulative "sweep" and "assemble" stages share its start offset.
+type Stage struct {
+	Name  string
+	Start time.Duration
+	Dur   time.Duration
 }
 
 // Result reports the outcome of Build.
@@ -67,6 +85,13 @@ type Result struct {
 	// FailedDeltas[i].
 	Certificates []*minor.Mapping
 	FailedDeltas []int
+	// Stages is the stage-timing breakdown, populated only when
+	// Options.CollectStages is set (both fields stay nil otherwise so the
+	// uninstrumented cold path allocates exactly as before).
+	Stages []Stage
+	// LevelsTried lists the delta' levels the doubling search attempted, in
+	// order, ending with the accepted level.
+	LevelsTried []int
 }
 
 // ErrDeltaTooSmall is returned by Build when a caller-fixed delta' level

@@ -8,11 +8,62 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"locshort/internal/graph"
 	"locshort/internal/partition"
 	"locshort/internal/tree"
 )
+
+// stageClock collects the Result.Stages breakdown of one Build call. A nil
+// clock (Options.CollectStages unset) makes every method a no-op, so the
+// uninstrumented path pays only nil checks. Methods other than since must
+// only be called from the coordinating goroutine; speculative levels read
+// the clock through since (start is immutable) and write their own
+// levelTimes slots instead.
+type stageClock struct {
+	start  time.Time
+	stages []Stage
+}
+
+func newStageClock() *stageClock { return &stageClock{start: time.Now()} }
+
+func (sc *stageClock) since() time.Duration {
+	if sc == nil {
+		return 0
+	}
+	return time.Since(sc.start)
+}
+
+func (sc *stageClock) add(name string, start, dur time.Duration) {
+	if sc == nil {
+		return
+	}
+	sc.stages = append(sc.stages, Stage{Name: name, Start: start, Dur: dur})
+}
+
+// span times an inline stage: call at the stage start, invoke the returned
+// func at its end.
+func (sc *stageClock) span(name string) func() {
+	if sc == nil {
+		return func() {}
+	}
+	begin := time.Since(sc.start)
+	return func() { sc.add(name, begin, time.Since(sc.start)-begin) }
+}
+
+// levelTimes is one doubling-search level's timing slot: its start offset
+// and total duration, plus the cumulative sweep/assemble split across the
+// level's Observation 2.7 iterations. Each speculative level owns its slot;
+// the coordinator reads them only after the wave's WaitGroup barrier.
+type levelTimes struct {
+	start    time.Duration
+	total    time.Duration
+	sweep    time.Duration
+	assemble time.Duration
+}
+
+func levelStageName(delta int) string { return fmt.Sprintf("level(d=%d)", delta) }
 
 // Builder is the flat-state construction core behind Build: it owns every
 // piece of scratch memory the Theorem 3.1 overcongested-edge process and
@@ -84,10 +135,19 @@ func (b *Builder) Build(g *graph.Graph, p *partition.Partition, opts Options) (*
 	if opts.Certify && opts.Rng == nil {
 		return nil, fmt.Errorf("shortcut: Certify requires Options.Rng")
 	}
+	var sc *stageClock
+	if opts.CollectStages {
+		sc = newStageClock()
+	}
 	t := opts.Tree
 	if t == nil {
+		done := sc.span("choose_root")
+		root := b.chooseRoot(g)
+		done()
+		done = sc.span("bfs_tree")
 		var err error
-		t, err = tree.FromBFS(g, b.chooseRoot(g))
+		t, err = tree.FromBFS(g, root)
+		done()
 		if err != nil {
 			return nil, fmt.Errorf("shortcut: build tree: %w", err)
 		}
@@ -126,7 +186,7 @@ func (b *Builder) Build(g *graph.Graph, p *partition.Partition, opts Options) (*
 	// only one, and certificate extraction consumes Options.Rng draws in
 	// failed-level order, which only the sequential schedule preserves.
 	if fixed || opts.Certify || par == 1 {
-		return b.buildSequential(g, t, p, res, opts, cf, bf, maxIter, maxDelta, depth)
+		return b.buildSequential(g, t, p, res, opts, cf, bf, maxIter, maxDelta, depth, sc)
 	}
 
 	for delta := 1; ; {
@@ -147,6 +207,10 @@ func (b *Builder) Build(g *graph.Graph, p *partition.Partition, opts Options) (*
 			err   error
 		}
 		outs := make([]outcome, len(levels))
+		var lts []levelTimes
+		if sc != nil {
+			lts = make([]levelTimes, len(levels))
+		}
 		// accepted is the lowest wave index that has completed with full
 		// coverage; higher levels poll it and abandon their (moot) runs.
 		var accepted atomic.Int32
@@ -157,7 +221,15 @@ func (b *Builder) Build(g *graph.Graph, p *partition.Partition, opts Options) (*
 			wg.Add(1)
 			go func(i int, dl int, ls *levelState) {
 				defer wg.Done()
-				s, iters, _, ok, err := ls.runLevel(g, t, p, cf*dl*depth, bf*dl, maxIter, false, &accepted, int32(i))
+				var lt *levelTimes
+				if lts != nil {
+					lt = &lts[i]
+					lt.start = sc.since()
+				}
+				s, iters, _, ok, err := ls.runLevel(g, t, p, cf*dl*depth, bf*dl, maxIter, false, &accepted, int32(i), lt)
+				if lt != nil {
+					lt.total = sc.since() - lt.start
+				}
 				outs[i] = outcome{s: s, iters: iters, ok: ok, err: err}
 				if ok {
 					for {
@@ -179,6 +251,15 @@ func (b *Builder) Build(g *graph.Graph, p *partition.Partition, opts Options) (*
 			if o.err != nil {
 				return nil, o.err
 			}
+			if sc != nil {
+				res.LevelsTried = append(res.LevelsTried, dl)
+				sc.add(levelStageName(dl), lts[i].start, lts[i].total)
+				if o.ok {
+					sc.add("sweep", lts[i].start, lts[i].sweep)
+					sc.add("assemble", lts[i].start, lts[i].assemble)
+					res.Stages = sc.stages
+				}
+			}
 			if o.ok {
 				res.Shortcut = o.s
 				res.Delta = dl
@@ -195,7 +276,7 @@ func (b *Builder) Build(g *graph.Graph, p *partition.Partition, opts Options) (*
 // buildSequential runs the classic one-level-at-a-time doubling search on
 // the builder's first levelState, including the certifying variant.
 func (b *Builder) buildSequential(g *graph.Graph, t *tree.Rooted, p *partition.Partition, res *Result,
-	opts Options, cf, bf, maxIter, maxDelta, depth int) (*Result, error) {
+	opts Options, cf, bf, maxIter, maxDelta, depth int, sc *stageClock) (*Result, error) {
 	certAttempts := opts.CertAttempts
 	if certAttempts == 0 {
 		certAttempts = 8 * depth
@@ -212,11 +293,25 @@ func (b *Builder) buildSequential(g *graph.Graph, t *tree.Rooted, p *partition.P
 		}
 		c := cf * delta * depth
 		bb := bf * delta
-		s, iters, lastPartial, ok, err := ls.runLevel(g, t, p, c, bb, maxIter, opts.Certify, nil, 0)
+		var lt *levelTimes
+		if sc != nil {
+			lt = &levelTimes{start: sc.since()}
+		}
+		s, iters, lastPartial, ok, err := ls.runLevel(g, t, p, c, bb, maxIter, opts.Certify, nil, 0, lt)
+		if sc != nil {
+			lt.total = sc.since() - lt.start
+			res.LevelsTried = append(res.LevelsTried, delta)
+			sc.add(levelStageName(delta), lt.start, lt.total)
+		}
 		if err != nil {
 			return nil, err
 		}
 		if ok {
+			if sc != nil {
+				sc.add("sweep", lt.start, lt.sweep)
+				sc.add("assemble", lt.start, lt.assemble)
+				res.Stages = sc.stages
+			}
 			res.Shortcut = s
 			res.Delta = delta
 			res.CongestionThreshold = c
@@ -293,11 +388,12 @@ func (ls *levelState) nextEpoch() int32 {
 
 // runLevel runs the Observation 2.7 loop at a fixed (c, b) level. cancel,
 // when non-nil, is the speculative search's accepted-level watermark: once
-// a lower level accepts, this run abandons (its outcome is moot). The
-// returned Shortcut and Partial are freshly allocated; scratch never
-// escapes.
+// a lower level accepts, this run abandons (its outcome is moot). lt, when
+// non-nil, accumulates the sweep/assemble wall-clock split across
+// iterations; timing never changes what is built. The returned Shortcut
+// and Partial are freshly allocated; scratch never escapes.
 func (ls *levelState) runLevel(g *graph.Graph, t *tree.Rooted, p *partition.Partition, c, b, maxIter int,
-	certify bool, cancel *atomic.Int32, self int32) (*Shortcut, int, *Partial, bool, error) {
+	certify bool, cancel *atomic.Int32, self int32, lt *levelTimes) (*Shortcut, int, *Partial, bool, error) {
 	if c < 1 {
 		return nil, 0, nil, false, fmt.Errorf("shortcut: congestion threshold %d < 1", c)
 	}
@@ -331,8 +427,18 @@ func (ls *levelState) runLevel(g *graph.Graph, t *tree.Rooted, p *partition.Part
 			pr = &Partial{IE: make(map[int][]PartRep), DegB: make([]int, k)}
 			last = pr
 		}
-		ls.sweep(t, p, c, active, pr)
-		progress := ls.assemble(g, t, p, active, b, s, true)
+		var progress int
+		if lt == nil {
+			ls.sweep(t, p, c, active, pr)
+			progress = ls.assemble(g, t, p, active, b, s, true)
+		} else {
+			t0 := time.Now()
+			ls.sweep(t, p, c, active, pr)
+			t1 := time.Now()
+			progress = ls.assemble(g, t, p, active, b, s, true)
+			lt.sweep += t1.Sub(t0)
+			lt.assemble += time.Since(t1)
+		}
 		remaining -= progress
 		if remaining == 0 {
 			return s, iter, last, true, nil

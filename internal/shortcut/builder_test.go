@@ -293,3 +293,52 @@ func TestBuilderResultsSurviveReuse(t *testing.T) {
 		}
 	}
 }
+
+// TestCollectStages asserts that stage collection is timing-only — the
+// canonical shortcut is identical with and without it, in both the
+// sequential and speculative search — and that the breakdown carries every
+// expected stage: tree construction, one level stage per LevelsTried entry,
+// and the accepted level's sweep/assemble split.
+func TestCollectStages(t *testing.T) {
+	for _, par := range []int{1, runtime.GOMAXPROCS(0)} {
+		for _, f := range testFamilies(t) {
+			plain, err := Build(f.g, f.p, Options{Parallelism: par})
+			if err != nil {
+				t.Fatalf("%s par=%d: %v", f.name, par, err)
+			}
+			staged, err := Build(f.g, f.p, Options{Parallelism: par, CollectStages: true})
+			if err != nil {
+				t.Fatalf("%s par=%d staged: %v", f.name, par, err)
+			}
+			if shortcutFingerprint(plain) != shortcutFingerprint(staged) {
+				t.Errorf("%s par=%d: CollectStages changed the canonical shortcut", f.name, par)
+			}
+			if plain.Stages != nil || plain.LevelsTried != nil {
+				t.Errorf("%s par=%d: stages recorded without CollectStages", f.name, par)
+			}
+			if len(staged.LevelsTried) == 0 ||
+				staged.LevelsTried[len(staged.LevelsTried)-1] != staged.Delta {
+				t.Errorf("%s par=%d: LevelsTried %v does not end at accepted delta %d",
+					f.name, par, staged.LevelsTried, staged.Delta)
+			}
+			names := make(map[string]int)
+			for _, st := range staged.Stages {
+				names[st.Name]++
+				if st.Dur < 0 || st.Start < 0 {
+					t.Errorf("%s par=%d: negative timing in stage %+v", f.name, par, st)
+				}
+			}
+			for _, want := range []string{"choose_root", "bfs_tree", "sweep", "assemble"} {
+				if names[want] != 1 {
+					t.Errorf("%s par=%d: stage %q appears %d times, want 1 (stages %v)",
+						f.name, par, want, names[want], staged.Stages)
+				}
+			}
+			for _, dl := range staged.LevelsTried {
+				if names[levelStageName(dl)] != 1 {
+					t.Errorf("%s par=%d: no stage for tried level %d", f.name, par, dl)
+				}
+			}
+		}
+	}
+}

@@ -14,6 +14,7 @@ import (
 
 	"locshort/internal/graph"
 	"locshort/internal/jobs"
+	"locshort/internal/obs"
 	"locshort/internal/partition"
 	"locshort/internal/service"
 	"locshort/internal/shortcut"
@@ -77,6 +78,11 @@ type Options struct {
 	// never corrupts what an earlier sync made durable. Tests and bulk
 	// imports use it; daemons should not.
 	NoSync bool
+	// Obs, when non-nil, registers the store's metric families:
+	// append/fsync latency histograms, per-kind append and segment
+	// rotation counters, and func-backed gauges over OpenStats (segments,
+	// bytes, live records by kind) read at scrape time.
+	Obs *obs.Registry
 }
 
 func (o Options) withDefaults() Options {
@@ -155,6 +161,9 @@ type Store struct {
 	// bound so transient graphs (Verify decodes) cannot grow it forever.
 	permMu sync.Mutex
 	perms  map[*graph.Graph]*edgePerm
+
+	// metrics is nil unless Options.Obs was set.
+	metrics *storeMetrics
 }
 
 // permCacheLimit bounds the perm memo; engines pin far fewer
@@ -209,6 +218,9 @@ func Open(dir string, opts Options) (*Store, error) {
 		}
 	}
 	s.recount()
+	if opts.Obs != nil {
+		s.metrics = newStoreMetrics(opts.Obs, s)
+	}
 	return s, nil
 }
 
@@ -457,6 +469,10 @@ func (s *Store) closeLocked() error {
 // the disk write or fsync, so concurrent readers are not stalled by
 // persistence.
 func (s *Store) appendRecord(kind byte, key service.Fingerprint, payload []byte) error {
+	var appendStart time.Time
+	if s.metrics != nil {
+		appendStart = time.Now()
+	}
 	s.mu.RLock()
 	seg := s.active
 	s.mu.RUnlock()
@@ -467,6 +483,9 @@ func (s *Store) appendRecord(kind byte, key service.Fingerprint, payload []byte)
 	if seg.size >= s.opts.SegmentBytes {
 		if err := s.startSegment(seg.seq + 1); err != nil {
 			return err
+		}
+		if s.metrics != nil {
+			s.metrics.rotations.Inc()
 		}
 		s.mu.RLock()
 		seg = s.active
@@ -493,8 +512,15 @@ func (s *Store) appendRecord(kind byte, key service.Fingerprint, payload []byte)
 		return err
 	}
 	if !s.opts.NoSync {
+		var syncStart time.Time
+		if s.metrics != nil {
+			syncStart = time.Now()
+		}
 		if err := seg.f.Sync(); err != nil {
 			return err
+		}
+		if s.metrics != nil {
+			s.metrics.fsyncSeconds.Observe(time.Since(syncStart))
 		}
 	}
 	s.mu.Lock()
@@ -503,6 +529,12 @@ func (s *Store) appendRecord(kind byte, key service.Fingerprint, payload []byte)
 		s.indexPut(kind, key, ref)
 	}
 	s.mu.Unlock()
+	if s.metrics != nil {
+		s.metrics.appendSeconds.Observe(time.Since(appendStart))
+		if c, ok := s.metrics.appends[kind]; ok {
+			c.Inc()
+		}
+	}
 	return nil
 }
 
