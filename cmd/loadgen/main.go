@@ -6,7 +6,8 @@
 //
 // Usage:
 //
-//	loadgen [-addr 127.0.0.1:8080] [-duration 10s] [-conns 8]
+//	loadgen [-addr 127.0.0.1:8080] [-addrs A:1,B:2,C:3] [-duration 10s]
+//	        [-conns 8]
 //	        [-catalog "grid:32x32;torus:16x16;wheel:200;ktree:300,4"]
 //	        [-parts blobs:32] [-seeds 4] [-zipf 1.3] [-job-frac 0]
 //	        [-seed 1] [-async] [-require-hits] [-require-store-hits]
@@ -14,6 +15,7 @@
 // Flags (all of them — the README table mirrors this list):
 //
 //	-addr      locshortd address (host:port or URL)
+//	-addrs     comma-separated addresses of a locshortd cluster (overrides -addr)
 //	-duration  how long to generate load
 //	-conns     concurrent closed-loop connections
 //	-catalog   semicolon-separated graph family specs, hottest first
@@ -25,6 +27,16 @@
 //	-async     submit with "async": true and long-poll GET /v1/jobs/{id}
 //	-require-hits        exit nonzero unless the server reports cache hits
 //	-require-store-hits  exit nonzero unless the server reports store hits
+//
+// -addrs points loadgen at a multi-node cluster: each connection rotates
+// through the listed nodes round-robin, so every node takes ingest and
+// build traffic and the consistent-hash router is exercised from every
+// entry point. Readiness is awaited on every node, the catalog is ingested
+// through every node (idempotent — content addressing dedupes), and the
+// end-of-run report adds a per-node source split scraped from each node's
+// /metrics (builds, cache/store/peer hits, forwards, sync pulls) next to
+// the cluster-wide totals. The latency report gains a "peer fetches"
+// bucket for requests a node served by pulling another node's record.
 //
 // -async switches every request to asynchronous submission: the closed
 // loop POSTs with "async": true, records the 202 acknowledgement latency
@@ -96,11 +108,12 @@ func main() {
 
 type sample struct {
 	latency time.Duration
-	source  string // "built", "store", or "cache" (empty for jobs)
+	source  string // "built", "store", "peer", or "cache" (empty for jobs)
 	job     bool
 }
 
 type client struct {
+	name string // the address as given, for per-node report lines
 	base string
 	hc   *http.Client
 }
@@ -186,6 +199,7 @@ func (c *client) runAsync(path string, body map[string]any) (submit time.Duratio
 func run() error {
 	var (
 		addr     = flag.String("addr", "127.0.0.1:8080", "locshortd address (host:port or URL)")
+		addrs    = flag.String("addrs", "", "comma-separated cluster addresses; connections rotate through them round-robin (overrides -addr)")
 		duration = flag.Duration("duration", 10*time.Second, "how long to generate load")
 		conns    = flag.Int("conns", 8, "concurrent closed-loop connections")
 		catalog  = flag.String("catalog", "grid:32x32;torus:16x16;wheel:200;ktree:300,4",
@@ -213,20 +227,46 @@ func run() error {
 		return fmt.Errorf("-job-frac must be in [0,1], got %v", *jobFrac)
 	}
 
-	base := *addr
-	if !strings.Contains(base, "://") {
-		base = "http://" + base
+	// Resolve the target list: -addrs (a cluster) wins over -addr (one
+	// daemon). Every node gets its own client; connections rotate through
+	// them per request, so the router is exercised from every entry point.
+	targetAddrs := []string{*addr}
+	if *addrs != "" {
+		targetAddrs = targetAddrs[:0]
+		for _, a := range strings.Split(*addrs, ",") {
+			if a = strings.TrimSpace(a); a != "" {
+				targetAddrs = append(targetAddrs, a)
+			}
+		}
+		if len(targetAddrs) == 0 {
+			return fmt.Errorf("-addrs lists no addresses")
+		}
 	}
-	c := &client{base: base, hc: &http.Client{Timeout: 5 * time.Minute}}
+	clients := make([]*client, len(targetAddrs))
+	for i, a := range targetAddrs {
+		base := a
+		if !strings.Contains(base, "://") {
+			base = "http://" + base
+		}
+		clients[i] = &client{name: a, base: base, hc: &http.Client{Timeout: 5 * time.Minute}}
+	}
+	c := clients[0]
 
-	// Wait out the daemon's warm start: the listener binds before the store
+	// Wait out each daemon's warm start: the listener binds before the store
 	// replays, and /v1/ requests 503 until GET /readyz flips. A 404 means a
-	// pre-readiness daemon — proceed as before.
-	if err := awaitReady(c, 30*time.Second); err != nil {
-		return err
+	// pre-readiness daemon — proceed as before. In cluster mode this also
+	// waits out the config-drift gate, so load never starts against a node
+	// serving a disagreeing ring.
+	for _, tc := range clients {
+		if err := awaitReady(tc, 30*time.Second); err != nil {
+			return fmt.Errorf("node %s: %w", tc.name, err)
+		}
 	}
 
-	// Register the catalog up front and keep the fingerprints.
+	// Register the catalog up front and keep the fingerprints. Ingest goes
+	// through every node: content addressing makes it idempotent, and it
+	// keeps the run independent of the cluster's ingest broadcast having
+	// reached everyone before load starts.
 	specs := strings.Split(*catalog, ";")
 	fps := make([]string, len(specs))
 	for i, spec := range specs {
@@ -234,8 +274,10 @@ func run() error {
 			Graph string `json:"graph"`
 			Nodes int    `json:"nodes"`
 		}
-		if err := c.post("/v1/graphs", map[string]any{"spec": strings.TrimSpace(spec)}, &g); err != nil {
-			return fmt.Errorf("ingest %q: %w", spec, err)
+		for _, tc := range clients {
+			if err := tc.post("/v1/graphs", map[string]any{"spec": strings.TrimSpace(spec)}, &g); err != nil {
+				return fmt.Errorf("ingest %q on %s: %w", spec, tc.name, err)
+			}
 		}
 		fps[i] = g.Graph
 		fmt.Printf("ingested %-16s %s (%d nodes)\n", spec, g.Graph, g.Nodes)
@@ -259,7 +301,10 @@ func run() error {
 			defer wg.Done()
 			rng := rand.New(rand.NewSource(*seed + int64(w)))
 			zipf := rand.NewZipf(rng, *zipfS, 1, uint64(len(fps)-1))
-			for time.Now().Before(deadline) {
+			for n := w; time.Now().Before(deadline); n++ {
+				// Round-robin across the targets, offset by the connection
+				// index so concurrent connections spread over the nodes.
+				tc := clients[n%len(clients)]
 				gi := int(zipf.Uint64())
 				ps := rng.Int63n(int64(*seeds))
 				isJob := rng.Float64() < *jobFrac
@@ -269,15 +314,15 @@ func run() error {
 				s := sample{job: isJob}
 				switch {
 				case *async && isJob:
-					submit, _, err = c.runAsync("/v1/jobs", map[string]any{
+					submit, _, err = tc.runAsync("/v1/jobs", map[string]any{
 						"kind": "mst", "graph": fps[gi], "seed": ps,
 					})
 				case *async:
-					submit, s.source, err = c.runAsync("/v1/shortcuts", map[string]any{
+					submit, s.source, err = tc.runAsync("/v1/shortcuts", map[string]any{
 						"graph": fps[gi], "partition": *partSpec, "seed": ps,
 					})
 				case isJob:
-					err = c.post("/v1/jobs", map[string]any{
+					err = tc.post("/v1/jobs", map[string]any{
 						"kind": "mst", "graph": fps[gi], "seed": ps,
 					}, nil)
 				default:
@@ -285,7 +330,7 @@ func run() error {
 						Cached bool   `json:"cached"`
 						Source string `json:"source"`
 					}
-					err = c.post("/v1/shortcuts", map[string]any{
+					err = tc.post("/v1/shortcuts", map[string]any{
 						"graph": fps[gi], "partition": *partSpec, "seed": ps,
 					}, &resp)
 					s.source = resp.Source
@@ -297,6 +342,9 @@ func run() error {
 						}
 					}
 				}
+				// A forwarded answer reports "forward:<owner's source>"; the
+				// latency class is the owner's, plus one hop.
+				s.source = strings.TrimPrefix(s.source, "forward:")
 				s.latency = time.Since(start)
 				mu.Lock()
 				if err != nil {
@@ -327,44 +375,102 @@ func run() error {
 		fmt.Printf("first error: %v\n", firstErr)
 	}
 
-	// Ask the server for its own accounting.
-	resp, err := c.hc.Get(base + "/v1/stats")
-	if err != nil {
-		return err
+	// Ask each server for its own accounting. The require-* assertions sum
+	// across the targets: in a cluster, which node's cache or store served
+	// a request depends on ring ownership, not on which node we asked.
+	var agg service.Stats
+	for _, tc := range clients {
+		var stats struct {
+			Stats   service.Stats `json:"stats"`
+			HitRate float64       `json:"hit_rate"`
+		}
+		if err := tc.get("/v1/stats", &stats); err != nil {
+			if len(clients) == 1 {
+				return err
+			}
+			fmt.Printf("node %s: stats unavailable: %v\n", tc.name, err)
+			continue
+		}
+		agg.Builds += stats.Stats.Builds
+		agg.CacheHits += stats.Stats.CacheHits
+		agg.StoreHits += stats.Stats.StoreHits
+		agg.PeerHits += stats.Stats.PeerHits
+		if len(clients) > 1 {
+			continue // single-node report below; cluster gets the /metrics table
+		}
+		fmt.Printf("server: %d builds, %d hits / %d misses (hit rate %.2f), %d evictions, %d graphs\n",
+			stats.Stats.Builds, stats.Stats.CacheHits, stats.Stats.CacheMisses,
+			stats.HitRate, stats.Stats.CacheEvictions, stats.Stats.Graphs)
+		if stats.Stats.StoreHits+stats.Stats.StoreMisses+stats.Stats.StoreWrites+stats.Stats.StoreErrors > 0 {
+			fmt.Printf("server store: %d hits / %d misses, %d writes, %d errors\n",
+				stats.Stats.StoreHits, stats.Stats.StoreMisses,
+				stats.Stats.StoreWrites, stats.Stats.StoreErrors)
+		}
+		if stats.Stats.PeerHits+stats.Stats.PeerMisses+stats.Stats.PeerErrors > 0 {
+			fmt.Printf("server peer: %d hits / %d misses, %d errors, %d forwards, %d sync pulls\n",
+				stats.Stats.PeerHits, stats.Stats.PeerMisses, stats.Stats.PeerErrors,
+				stats.Stats.Forwards, stats.Stats.SyncPulls)
+		}
+		if stats.Stats.AsyncSubmitted > 0 || stats.Stats.AsyncQueued+stats.Stats.AsyncRunning > 0 {
+			fmt.Printf("server async: %d submitted, %d queued / %d running, %d done, %d failed, %d canceled\n",
+				stats.Stats.AsyncSubmitted, stats.Stats.AsyncQueued, stats.Stats.AsyncRunning,
+				stats.Stats.AsyncDone, stats.Stats.AsyncFailed, stats.Stats.AsyncCanceled)
+		}
 	}
-	defer resp.Body.Close()
-	var stats struct {
-		Stats   service.Stats `json:"stats"`
-		HitRate float64       `json:"hit_rate"`
+	if len(clients) > 1 {
+		fmt.Printf("cluster: %d builds, %d cache hits, %d store hits, %d peer hits across %d nodes\n",
+			agg.Builds, agg.CacheHits, agg.StoreHits, agg.PeerHits, len(clients))
+		// Per-node source split scraped from each node's /metrics: where
+		// the builds happened, which caches served, how much traffic was
+		// forwarded to owners, and what anti-entropy moved.
+		reportClusterMetrics(clients)
+	} else {
+		// End-of-run /metrics scrape: the server-side per-route latency view
+		// next to the client-side one above. A gap between the two is queueing
+		// or transport cost the server never saw; matching numbers mean the
+		// latency lives in the handlers. Daemons without /metrics skip this.
+		reportServerMetrics(c, c.base)
 	}
-	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
-		return err
-	}
-	fmt.Printf("server: %d builds, %d hits / %d misses (hit rate %.2f), %d evictions, %d graphs\n",
-		stats.Stats.Builds, stats.Stats.CacheHits, stats.Stats.CacheMisses,
-		stats.HitRate, stats.Stats.CacheEvictions, stats.Stats.Graphs)
-	if stats.Stats.StoreHits+stats.Stats.StoreMisses+stats.Stats.StoreWrites+stats.Stats.StoreErrors > 0 {
-		fmt.Printf("server store: %d hits / %d misses, %d writes, %d errors\n",
-			stats.Stats.StoreHits, stats.Stats.StoreMisses,
-			stats.Stats.StoreWrites, stats.Stats.StoreErrors)
-	}
-	if stats.Stats.AsyncSubmitted > 0 || stats.Stats.AsyncQueued+stats.Stats.AsyncRunning > 0 {
-		fmt.Printf("server async: %d submitted, %d queued / %d running, %d done, %d failed, %d canceled\n",
-			stats.Stats.AsyncSubmitted, stats.Stats.AsyncQueued, stats.Stats.AsyncRunning,
-			stats.Stats.AsyncDone, stats.Stats.AsyncFailed, stats.Stats.AsyncCanceled)
-	}
-	// End-of-run /metrics scrape: the server-side per-route latency view
-	// next to the client-side one above. A gap between the two is queueing
-	// or transport cost the server never saw; matching numbers mean the
-	// latency lives in the handlers. Daemons without /metrics skip this.
-	reportServerMetrics(c, base)
-	if *requireHits && stats.Stats.CacheHits == 0 {
+	if *requireHits && agg.CacheHits == 0 {
 		return fmt.Errorf("require-hits: server reports zero cache hits")
 	}
-	if *requireStoreHits && stats.Stats.StoreHits == 0 {
+	if *requireStoreHits && agg.StoreHits == 0 {
 		return fmt.Errorf("require-store-hits: server reports zero durable-store hits")
 	}
 	return nil
+}
+
+// reportClusterMetrics prints the per-node source split from each node's
+// /metrics — builds, cache/store/peer hits, forwards, sync pulls — so a
+// cluster run shows where the work landed, not just the totals. Best
+// effort: an unreachable node (the kill-one scenario) prints as such.
+func reportClusterMetrics(clients []*client) {
+	fmt.Println("per-node split (from /metrics):")
+	for _, tc := range clients {
+		resp, err := tc.hc.Get(tc.base + "/metrics")
+		if err != nil {
+			fmt.Printf("  %s: unreachable: %v\n", tc.name, err)
+			continue
+		}
+		sc, perr := obs.ParsePrometheus(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK || perr != nil {
+			fmt.Printf("  %s: /metrics unavailable (status %d, err %v)\n", tc.name, resp.StatusCode, perr)
+			continue
+		}
+		v := func(name string, labels obs.Labels) float64 {
+			x, _ := sc.Value(name, labels)
+			return x
+		}
+		fmt.Printf("  %s: builds %.0f  cache hits %.0f  store hits %.0f  peer hits %.0f  forwards %.0f  sync pulls %.0f\n",
+			tc.name,
+			v("locshort_engine_builds_total", nil),
+			v("locshort_engine_cache_hits_total", nil),
+			v("locshort_engine_store_reads_total", obs.Labels{"outcome": "hit"}),
+			v("locshort_engine_peer_reads_total", obs.Labels{"outcome": "hit"}),
+			v("locshort_cluster_forwards_total", obs.Labels{"outcome": "ok"}),
+			v("locshort_cluster_sync_pulls_total", nil))
+	}
 }
 
 // awaitReady polls GET /readyz until the daemon reports ready, the probe
@@ -431,7 +537,7 @@ func reportServerMetrics(c *client, base string) {
 }
 
 func report(samples []sample, submits []time.Duration, errs int, d time.Duration) {
-	var cold, stored, hit, jobs []time.Duration
+	var cold, stored, peer, hit, jobs []time.Duration
 	for _, s := range samples {
 		switch {
 		case s.job:
@@ -440,6 +546,8 @@ func report(samples []sample, submits []time.Duration, errs int, d time.Duration
 			hit = append(hit, s.latency)
 		case s.source == "store":
 			stored = append(stored, s.latency)
+		case s.source == "peer":
+			peer = append(peer, s.latency)
 		default:
 			cold = append(cold, s.latency)
 		}
@@ -464,6 +572,9 @@ func report(samples []sample, submits []time.Duration, errs int, d time.Duration
 	line("cold builds", cold)
 	if len(stored) > 0 {
 		line("store hits", stored)
+	}
+	if len(peer) > 0 {
+		line("peer fetches", peer)
 	}
 	line("cache hits", hit)
 	if len(jobs) > 0 {

@@ -13,12 +13,21 @@
 //	locshortctl -data DIR jobs inspect <id>  decode one job (request, result, error)
 //	locshortctl -data DIR jobs cancel <id>   cancel a queued/interrupted job offline
 //	locshortctl -addr HOST:PORT top        live terminal view over a RUNNING daemon
+//	locshortctl -addr HOST:PORT cluster status   ring membership, shares, reachability
+//	locshortctl -addr HOST:PORT verify     remote integrity check over the peer API
 //
-// `top` is the one online subcommand: it scrapes the daemon's /metrics on
-// an interval (-interval, default 2s; -once for a single snapshot) and
-// renders throughput, hit ratios, queue depths, and per-route latency
-// quantiles from the deltas between scrapes. It needs only -addr — no
-// -data — because it never touches the store directory.
+// Three subcommands are online and need only -addr — no -data — because
+// they never touch the store directory. `top` scrapes the daemon's
+// /metrics on an interval (-interval, default 2s; -once for a single
+// snapshot) and renders throughput, hit ratios, queue depths, and
+// per-route latency quantiles from the deltas between scrapes.
+// `cluster status` asks any node of a multi-node cluster for its ring
+// config and renders the membership table: per-node vnode count,
+// owned-range share (recomputed locally from the ring geometry), record
+// inventory, reachability, and config-hash agreement. `verify` with -addr
+// but no -data pulls every record over the /v1/peer/ API and re-verifies
+// the payloads client-side — the remote counterpart of offline verify,
+// trusting nothing the node claims about its own integrity.
 //
 // Every other subcommand works offline on the store directory, which is
 // single-owner: run them against a stopped daemon or a copied directory,
@@ -50,7 +59,7 @@ func main() {
 }
 
 func usage() error {
-	return fmt.Errorf("usage: locshortctl -data DIR {ls | inspect <fp> | verify | gc | jobs {ls | inspect <id> | cancel <id>}} | locshortctl -addr HOST:PORT top")
+	return fmt.Errorf("usage: locshortctl -data DIR {ls | inspect <fp> | verify | gc | jobs {ls | inspect <id> | cancel <id>}} | locshortctl -addr HOST:PORT {top | cluster status | verify}")
 }
 
 func run() error {
@@ -79,6 +88,44 @@ func run() error {
 			return fmt.Errorf("top needs -addr HOST:PORT (the daemon's listen address)")
 		}
 		return runTop(normalizeAddr(*taddr), *tinterval, *tonce)
+	}
+	// `cluster status` talks to a live cluster node over its peer API, so
+	// like top it routes before the -data check and re-parses its flags
+	// (from after the two subcommand words, so trailing -addr works too).
+	if flag.Arg(0) == "cluster" {
+		if flag.NArg() < 2 || flag.Arg(1) != "status" {
+			return usage()
+		}
+		cf := flag.NewFlagSet("cluster status", flag.ContinueOnError)
+		caddr := cf.String("addr", *addr, "any cluster node's address")
+		if err := cf.Parse(flag.Args()[2:]); err != nil {
+			return err
+		}
+		if cf.NArg() != 0 {
+			return usage()
+		}
+		if *caddr == "" {
+			return fmt.Errorf("cluster status needs -addr HOST:PORT (any node of the cluster)")
+		}
+		return runClusterStatus(normalizeAddr(*caddr))
+	}
+	// `verify -addr` (without -data) is the remote variant: it pulls every
+	// record over the peer API and re-verifies the payloads client-side.
+	// With -data it stays the offline integrity check, handled below.
+	if flag.Arg(0) == "verify" {
+		vf := flag.NewFlagSet("verify", flag.ContinueOnError)
+		vaddr := vf.String("addr", *addr, "cluster node address for remote verification")
+		vdata := vf.String("data", *data, "store directory for offline verification")
+		if err := vf.Parse(flag.Args()[1:]); err != nil {
+			return err
+		}
+		if vf.NArg() != 0 {
+			return usage()
+		}
+		if *vdata == "" && *vaddr != "" {
+			return runRemoteVerify(normalizeAddr(*vaddr))
+		}
+		*data = *vdata
 	}
 	if *data == "" {
 		return usage()

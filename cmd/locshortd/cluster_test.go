@@ -1,0 +1,358 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"locshort/internal/cluster"
+	"locshort/internal/jobs"
+	"locshort/internal/service"
+	"locshort/internal/store"
+)
+
+// clusterSwap lets the test bind listeners (to learn their addresses)
+// before the servers that own them are constructed.
+type clusterSwap struct {
+	mu sync.RWMutex
+	h  http.Handler
+}
+
+func (s *clusterSwap) set(h http.Handler) {
+	s.mu.Lock()
+	s.h = h
+	s.mu.Unlock()
+}
+
+func (s *clusterSwap) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mu.RLock()
+	h := s.h
+	s.mu.RUnlock()
+	if h == nil {
+		http.Error(w, "not ready", http.StatusServiceUnavailable)
+		return
+	}
+	h.ServeHTTP(w, r)
+}
+
+type clusterNode struct {
+	addr string
+	st   *store.Store
+	cl   *cluster.Cluster
+	eng  *service.Engine
+	srv  *server
+	ts   *httptest.Server
+	url  string
+}
+
+// newNodeCluster stands up n complete locshortd nodes — store, cluster
+// view, engine with peer fetch, HTTP API with forwarding — sharing one
+// ring, exactly as -cluster-self/-cluster-peers wires them in main.
+func newNodeCluster(t *testing.T, n int) []*clusterNode {
+	t.Helper()
+	nodes := make([]*clusterNode, n)
+	swaps := make([]*clusterSwap, n)
+	addrs := make([]string, n)
+	for i := range nodes {
+		swaps[i] = &clusterSwap{}
+		ts := httptest.NewServer(swaps[i])
+		t.Cleanup(ts.Close)
+		addr := strings.TrimPrefix(ts.URL, "http://")
+		nodes[i] = &clusterNode{addr: addr, ts: ts, url: ts.URL}
+		addrs[i] = addr
+	}
+	for i, node := range nodes {
+		st, err := store.Open(filepath.Join(t.TempDir(), "data"), store.Options{NoSync: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cl, err := cluster.New(cluster.Config{
+			Self:         node.addr,
+			Nodes:        addrs,
+			VNodes:       16,
+			SyncInterval: time.Hour, // tests drive SyncNow explicitly
+			FetchTimeout: 5 * time.Second,
+			DownBackoff:  time.Minute, // a killed node stays skipped for the whole test
+			Store:        st,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		eng := service.New(service.Config{Workers: 2, Store: st, Peers: cl})
+		cl.SetRegistrar(eng)
+		srv, h := newServer(eng, jobs.Config{Store: st}, serverOptions{cluster: cl})
+		srv.mgr.Start()
+		node.st, node.cl, node.eng, node.srv = st, cl, eng, srv
+		swaps[i].set(h)
+		t.Cleanup(func() {
+			srv.mgr.Close()
+			eng.Close()
+			st.Close()
+		})
+	}
+	return nodes
+}
+
+// totalBuilds sums completed constructions across every node's engine.
+func totalBuilds(nodes []*clusterNode) uint64 {
+	var total uint64
+	for _, n := range nodes {
+		if n != nil {
+			total += n.eng.Stats().Builds
+		}
+	}
+	return total
+}
+
+// postShortcut posts one build request and decodes the response; header,
+// when non-empty, is set as X-Locshort-Forwarded.
+func postShortcut(t *testing.T, url string, body map[string]any, forwarded bool) shortcutResponse {
+	t.Helper()
+	b, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, err := http.NewRequest(http.MethodPost, url+"/v1/shortcuts", bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if forwarded {
+		req.Header.Set(cluster.ForwardedHeader, "1")
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var e map[string]string
+		json.NewDecoder(resp.Body).Decode(&e)
+		t.Fatalf("POST %s/v1/shortcuts: status %d: %s", url, resp.StatusCode, e["error"])
+	}
+	var out shortcutResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// TestClusterRouting: a graph ingested on one node is requestable on every
+// node, the key's ring owner executes the build no matter which node the
+// client dialed, and the whole cluster pays exactly one construction.
+func TestClusterRouting(t *testing.T) {
+	nodes := newNodeCluster(t, 3)
+
+	var g graphResponse
+	postJSON(t, nodes[0].url+"/v1/graphs", map[string]any{"spec": "grid:12x12"}, http.StatusOK, &g)
+	// The ingest broadcast registered the graph on every engine.
+	for _, n := range nodes {
+		fp, err := service.ParseFingerprint(g.Graph)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, ok := n.eng.Graph(fp); !ok {
+			t.Fatalf("node %s does not know the broadcast graph", n.addr)
+		}
+	}
+
+	build := map[string]any{"graph": g.Graph, "partition": "blobs:8", "seed": 3}
+	resps := make([]shortcutResponse, 3)
+	for i, n := range nodes {
+		resps[i] = postShortcut(t, n.url, build, false)
+	}
+	for i, r := range resps[1:] {
+		if r.Shortcut != resps[0].Shortcut {
+			t.Fatalf("node %d resolved a different key: %s != %s", i+1, r.Shortcut, resps[0].Shortcut)
+		}
+	}
+	if got := totalBuilds(nodes); got != 1 {
+		t.Fatalf("cluster-wide builds = %d, want exactly 1", got)
+	}
+	// Every response was executed by the same node: the ring owner.
+	key, err := service.ParseFingerprint(resps[0].Shortcut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	owner, _ := nodes[0].cl.Owner(key)
+	for i, r := range resps {
+		if r.ServedBy != owner {
+			t.Fatalf("response %d served_by %q, want owner %q", i, r.ServedBy, owner)
+		}
+	}
+	// The two non-owner nodes forwarded.
+	var forwards uint64
+	for _, n := range nodes {
+		forwards += n.cl.Stats().Forwards
+	}
+	if forwards < 2 {
+		t.Fatalf("forwards = %d, want >= 2", forwards)
+	}
+}
+
+// TestClusterPeerFetch: a shortcut built on node A is served from node B's
+// peer-fetch path — source "peer", no second build anywhere.
+func TestClusterPeerFetch(t *testing.T) {
+	nodes := newNodeCluster(t, 3)
+
+	var g graphResponse
+	postJSON(t, nodes[0].url+"/v1/graphs", map[string]any{"spec": "grid:12x12"}, http.StatusOK, &g)
+	build := map[string]any{"graph": g.Graph, "partition": "blobs:8", "seed": 4}
+
+	first := postShortcut(t, nodes[0].url, build, false)
+	key, err := service.ParseFingerprint(first.Shortcut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	owner, _ := nodes[0].cl.Owner(key)
+
+	// Pick a node that did not build and force it to serve locally (the
+	// forwarded flag, as if relayed): its miss chain is cache miss → store
+	// miss → peer fetch from the owner's store.
+	var other *clusterNode
+	for _, n := range nodes {
+		if n.addr != owner {
+			other = n
+			break
+		}
+	}
+	resp := postShortcut(t, other.url, build, true)
+	if resp.Source != "peer" {
+		t.Fatalf("source = %q, want \"peer\"", resp.Source)
+	}
+	if resp.ServedBy != other.addr {
+		t.Fatalf("served_by = %q, want %q (local serving)", resp.ServedBy, other.addr)
+	}
+	if resp.Shortcut != first.Shortcut {
+		t.Fatalf("peer fetch resolved key %s, want %s", resp.Shortcut, first.Shortcut)
+	}
+	if got := totalBuilds(nodes); got != 1 {
+		t.Fatalf("cluster-wide builds = %d, want exactly 1 (peer fetch must not rebuild)", got)
+	}
+	if hits := other.eng.Stats().PeerHits; hits != 1 {
+		t.Fatalf("peer hits on %s = %d, want 1", other.addr, hits)
+	}
+	// The fetch imported the record: it is in the fetcher's store now.
+	if !other.st.HasShortcut(key) {
+		t.Fatal("peer-fetched record was not imported into the local store")
+	}
+}
+
+// TestClusterKillOneNode: after anti-entropy has replicated the record,
+// killing any one node leaves every request on the survivors answerable
+// with zero errors.
+func TestClusterKillOneNode(t *testing.T) {
+	nodes := newNodeCluster(t, 3)
+
+	var g graphResponse
+	postJSON(t, nodes[0].url+"/v1/graphs", map[string]any{"spec": "grid:12x12"}, http.StatusOK, &g)
+	build := map[string]any{"graph": g.Graph, "partition": "blobs:8", "seed": 5}
+	first := postShortcut(t, nodes[0].url, build, false)
+	key, err := service.ParseFingerprint(first.Shortcut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	owner, _ := nodes[0].cl.Owner(key)
+
+	// Replicate: every node pulls what it should own.
+	for _, n := range nodes {
+		if sr := n.cl.SyncNow(t.Context()); sr.Errors != 0 {
+			t.Fatalf("sync on %s: %d errors", n.addr, sr.Errors)
+		}
+	}
+
+	// Kill the owner — the worst case: both survivors must fail over.
+	var survivors []*clusterNode
+	for i, n := range nodes {
+		if n.addr == owner {
+			n.ts.Close()
+			nodes[i] = nil
+			continue
+		}
+		survivors = append(survivors, n)
+	}
+
+	// Every request on every survivor must succeed. The first one pays the
+	// failed dial to the dead owner, marks it down, and falls back to
+	// local serving; the rest skip the corpse outright.
+	for round := 0; round < 3; round++ {
+		for _, n := range survivors {
+			resp := postShortcut(t, n.url, build, false)
+			if resp.Shortcut != first.Shortcut {
+				t.Fatalf("survivor %s resolved key %s, want %s", n.addr, resp.Shortcut, first.Shortcut)
+			}
+		}
+	}
+	if got := totalBuilds(survivors); got > 1 {
+		t.Fatalf("builds on survivors = %d; failover must reuse the replicated record", got)
+	}
+}
+
+// TestClusterDriftHoldsReadyz: a node whose ring config disagrees with a
+// reachable peer's answers 503 on /readyz until the configs converge.
+func TestClusterDriftHoldsReadyz(t *testing.T) {
+	nodes := newNodeCluster(t, 3)
+
+	// Sabotage node 0: same membership, different vnode count.
+	drifted, err := cluster.New(cluster.Config{
+		Self:         nodes[0].addr,
+		Nodes:        []string{nodes[0].addr, nodes[1].addr, nodes[2].addr},
+		VNodes:       8,
+		SyncInterval: time.Hour,
+		Store:        nodes[0].st,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nodes[0].srv.cl = drifted
+	if d, _ := drifted.CheckConfig(t.Context()); !d {
+		t.Fatal("drifted node did not detect the disagreement")
+	}
+
+	resp, err := http.Get(nodes[0].url + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("/readyz on drifted node: %d, want 503", resp.StatusCode)
+	}
+	var body bytes.Buffer
+	body.ReadFrom(resp.Body)
+	if !strings.Contains(body.String(), "drift") {
+		t.Fatalf("/readyz body %q does not name the drift", body.String())
+	}
+
+	// Peers probing node 0 see the foreign hash and latch drift too.
+	if sr := nodes[1].cl.SyncNow(t.Context()); sr.Drift {
+		// nodes[1] still serves the OLD handler for node 0 (srv.cl swap
+		// only changes readiness), so drift here depends on which side
+		// answers; either way its own /readyz must reflect Drift().
+		if r2, err := http.Get(nodes[1].url + "/readyz"); err == nil {
+			defer r2.Body.Close()
+			if r2.StatusCode != http.StatusServiceUnavailable {
+				t.Fatalf("peer latched drift but /readyz = %d", r2.StatusCode)
+			}
+		}
+	}
+
+	// Heal: restore the matching config and re-probe — ready again.
+	nodes[0].srv.cl = nodes[0].cl
+	if d, _ := nodes[0].cl.CheckConfig(t.Context()); d {
+		t.Fatal("drift did not clear after configs converged")
+	}
+	r3, err := http.Get(nodes[0].url + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r3.Body.Close()
+	if r3.StatusCode != http.StatusOK {
+		t.Fatalf("/readyz after heal: %d, want 200", r3.StatusCode)
+	}
+}

@@ -8,6 +8,8 @@
 //	          [-async-queue N] [-async-workers N] [-retries N]
 //	          [-data DIR] [-addrfile PATH] [-pprof ADDR]
 //	          [-slow-request DUR] [-traces N] [-quiet]
+//	          [-cluster-self HOST:PORT -cluster-peers H1:P1,H2:P2,...]
+//	          [-cluster-vnodes N] [-cluster-replicas N] [-sync-interval DUR]
 //
 // Endpoints:
 //
@@ -40,6 +42,19 @@
 // GET /v1/jobs/{id}. With -data, accepted jobs are durable: a restart
 // re-enqueues queued and interrupted work and completed results stay
 // fetchable.
+//
+// -cluster-self plus -cluster-peers (the full membership, identical on
+// every node) turn a set of daemons into one consistent-hash cluster:
+// every node accepts every request, shortcut builds route to the key's
+// ring owner, ingested graphs replicate to all peers, cache misses try
+// peer stores before rebuilding (response "source":"peer"), and a
+// background anti-entropy loop (-sync-interval) pulls records each node
+// should own but lacks, so replicas converge after a node dies or
+// rejoins. The internal /v1/peer/ API this uses re-verifies every fetched
+// payload against its fingerprint — a corrupt peer can cause a miss,
+// never a wrong answer. /readyz holds 503 while a reachable peer's ring
+// configuration disagrees with this node's. Cluster mode requires -data.
+// See OPERATIONS.md §9 for the cluster runbook.
 //
 // -data DIR makes the daemon durable: ingested graphs, built shortcuts,
 // and async job records persist to the append-only store in DIR, the
@@ -74,10 +89,12 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strings"
 	"sync/atomic"
 	"syscall"
 	"time"
 
+	"locshort/internal/cluster"
 	"locshort/internal/jobs"
 	"locshort/internal/obs"
 	"locshort/internal/service"
@@ -106,6 +123,12 @@ func run() error {
 		slowReq      = flag.Duration("slow-request", 0, "warn with a build-stage breakdown for requests at least this slow (0: disabled)")
 		traceCap     = flag.Int("traces", 128, "build traces retained for GET /v1/traces")
 		quiet        = flag.Bool("quiet", false, "suppress per-request log lines (metrics and traces stay on)")
+
+		clusterSelf  = flag.String("cluster-self", "", "this node's advertised host:port; enables cluster mode (requires -data)")
+		clusterPeers = flag.String("cluster-peers", "", "comma-separated full cluster membership, including -cluster-self; identical on every node")
+		clusterVN    = flag.Int("cluster-vnodes", 64, "virtual nodes per member on the consistent-hash ring")
+		clusterRepl  = flag.Int("cluster-replicas", 2, "nodes that hold each shortcut record (clamped to the membership size)")
+		syncInterval = flag.Duration("sync-interval", 10*time.Second, "anti-entropy round cadence in cluster mode")
 	)
 	flag.Parse()
 
@@ -137,8 +160,43 @@ func run() error {
 		defer st.Close()
 		cfg.Store = st
 	}
+
+	// Cluster mode: build the node's ring view before the engine so the
+	// engine's miss chain can reach peer stores (cache → store → peer →
+	// build). The engine is wired back in as the graph registrar below.
+	var cl *cluster.Cluster
+	if *clusterSelf != "" {
+		if st == nil {
+			return fmt.Errorf("cluster mode requires -data (peers pull records from the durable store)")
+		}
+		var nodes []string
+		for _, n := range strings.Split(*clusterPeers, ",") {
+			if n = strings.TrimSpace(n); n != "" {
+				nodes = append(nodes, n)
+			}
+		}
+		var err error
+		cl, err = cluster.New(cluster.Config{
+			Self:         *clusterSelf,
+			Nodes:        nodes,
+			VNodes:       *clusterVN,
+			Replication:  *clusterRepl,
+			SyncInterval: *syncInterval,
+			Store:        st,
+			Obs:          reg,
+			Logger:       logger,
+		})
+		if err != nil {
+			return err
+		}
+		cfg.Peers = cl
+	}
+
 	eng := service.New(cfg)
 	defer eng.Close()
+	if cl != nil {
+		cl.SetRegistrar(eng)
+	}
 
 	jcfg := jobs.Config{
 		QueueDepth: cfg.AsyncQueueDepth,
@@ -154,12 +212,19 @@ func run() error {
 	// (below) so probes answer during a long store replay, and the flag
 	// flips only after warm start, job recovery, and dispatcher start.
 	var ready atomic.Bool
+	readyFn := ready.Load
+	if cl != nil {
+		// In cluster mode readiness also requires ring-config agreement
+		// with every reachable peer (see handleReadyz).
+		readyFn = func() bool { return ready.Load() && !cl.Drift() }
+	}
 	srv, handler := newServer(eng, jcfg, serverOptions{
 		reg:         reg,
 		tracer:      tracer,
 		logger:      logger,
 		slowRequest: *slowReq,
-		ready:       ready.Load,
+		ready:       readyFn,
+		cluster:     cl,
 	})
 	mgr := srv.mgr
 	// Close order (LIFO with the defers above): manager first, so
@@ -238,6 +303,17 @@ func run() error {
 		}
 	}
 	mgr.Start()
+	if cl != nil {
+		// Synchronous config probe before the ready flip: a node booted
+		// into a cluster whose reachable peers disagree on the ring never
+		// reports ready. The anti-entropy loop re-probes every round, so
+		// drift introduced (or healed) later moves readiness with it.
+		drift, reachable := cl.CheckConfig(ctx)
+		log.Printf("locshortd: cluster %s: %d members, %d peers reachable, drift=%v",
+			cl.Self(), len(cl.Peers())+1, reachable, drift)
+		cl.Start()
+		defer cl.Stop()
+	}
 	ready.Store(true)
 
 	select {

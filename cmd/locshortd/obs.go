@@ -10,6 +10,7 @@ import (
 	"sync"
 	"time"
 
+	"locshort/internal/cluster"
 	"locshort/internal/obs"
 )
 
@@ -28,8 +29,12 @@ type serverOptions struct {
 	// rejected with 503 and GET /readyz stays not-ready. nil: always ready.
 	// main flips it after warm start, job recovery, and dispatcher start,
 	// so a restarting daemon never serves cache misses it is about to
-	// warm-fill, and CI can poll /readyz instead of sleeping.
+	// warm-fill, and CI can poll /readyz instead of sleeping. In cluster
+	// mode main also folds in the config-drift guard, so a node booted
+	// with a disagreeing ring config never reports ready.
 	ready func() bool
+	// cluster enables multi-node mode (see server.cl); nil single-node.
+	cluster *cluster.Cluster
 }
 
 // errStarting is the 503 body served on /v1/ routes before readiness.
@@ -139,7 +144,12 @@ func (w *statusRecorder) WriteHeader(code int) {
 // stays bounded by the route table.
 func (s *server) instrument(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		if s.ready != nil && !s.ready() && strings.HasPrefix(r.URL.Path, "/v1/") {
+		if s.ready != nil && !s.ready() && strings.HasPrefix(r.URL.Path, "/v1/") &&
+			!strings.HasPrefix(r.URL.Path, "/v1/peer/") {
+			// /v1/peer/ stays open while not ready: peers must be able to
+			// compare ring configs (the drift that may be holding readiness
+			// down clears only through this path) and pull records from a
+			// warming node.
 			httpError(w, http.StatusServiceUnavailable, errStarting)
 			return
 		}
@@ -253,7 +263,15 @@ func (s *server) handleTraces(w http.ResponseWriter, r *http.Request) {
 // handleReadyz is the readiness probe: 200 once warm start, job recovery,
 // and the async dispatchers are up; 503 before. Distinct from /healthz
 // (liveness), which is 200 the moment the listener binds.
+// In cluster mode the probe also fails while the ring configuration
+// disagrees with a reachable peer's — a half-edited cluster rollout takes
+// the node out of rotation instead of serving a split ring.
 func (s *server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if s.cl != nil && s.cl.Drift() {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, "not ready: ring config drift")
+		return
+	}
 	if s.ready != nil && !s.ready() {
 		w.WriteHeader(http.StatusServiceUnavailable)
 		fmt.Fprintln(w, "starting")

@@ -13,12 +13,14 @@ import (
 	"time"
 
 	"locshort/internal/cli"
+	"locshort/internal/cluster"
 	"locshort/internal/dist"
 	"locshort/internal/graph"
 	"locshort/internal/jobs"
 	"locshort/internal/obs"
 	"locshort/internal/partition"
 	"locshort/internal/service"
+	"locshort/internal/store"
 )
 
 // server wires the service engine and the async job manager to the HTTP
@@ -31,6 +33,11 @@ type server struct {
 	eng   *service.Engine
 	mgr   *jobs.Manager
 	start time.Time
+	// cl is the cluster view in multi-node mode (nil single-node): the
+	// request router forwards misdirected build requests to the key's ring
+	// owner, ingested graphs broadcast to peers, and /v1/peer/ serves the
+	// internal record-exchange API.
+	cl *cluster.Cluster
 	// Observability wiring (see obs.go); all optional, nil when the server
 	// is constructed with a zero serverOptions.
 	obsReg      *obs.Registry
@@ -71,9 +78,15 @@ func newServer(eng *service.Engine, jcfg jobs.Config, o serverOptions) (*server,
 		metrics:     newHTTPMetrics(o.reg),
 		slowRequest: o.slowRequest,
 		ready:       o.ready,
+		cl:          o.cluster,
 	}
 	s.mgr = jobs.New(jcfg, s.execAsync)
 	mux := http.NewServeMux()
+	if s.cl != nil {
+		// Internal peer API; exempt from the readiness gate (peers compare
+		// ring configs and pull records while this node warms up).
+		mux.Handle("/v1/peer/", s.cl.Handler())
+	}
 	mux.HandleFunc("POST /v1/graphs", s.handleGraphs)
 	mux.HandleFunc("GET /v1/graphs", s.handleGraphList)
 	mux.HandleFunc("DELETE /v1/graphs/{fp}", s.handleGraphDelete)
@@ -212,6 +225,13 @@ func (s *server) handleGraphs(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusUnprocessableEntity, err)
 		return
 	}
+	// Cluster mode: replicate the graph to every peer before acknowledging,
+	// so a shortcut request for it can land on any node immediately.
+	// Best-effort — a down peer is healed by its next anti-entropy round,
+	// and the forward path re-pushes on a 404.
+	if s.cl != nil {
+		s.cl.BroadcastGraph(r.Context(), fp, store.EncodeGraphPayload(g))
+	}
 	// Respond with the submitted graph's size: on re-ingest of known
 	// content it matches the representative by construction, and unlike a
 	// Graph(fp) readback it cannot race a concurrent DELETE of the
@@ -308,6 +328,9 @@ type shortcutRequest struct {
 	Seed      int64   `json:"seed,omitempty"`
 	Options   string  `json:"options,omitempty"`
 	Async     bool    `json:"async,omitempty"`
+	// Forwarded is set from the X-Locshort-Forwarded header, never the
+	// body: a relayed request is served locally, not routed again.
+	Forwarded bool `json:"-"`
 }
 
 type shortcutResponse struct {
@@ -315,10 +338,14 @@ type shortcutResponse struct {
 	Graph    string `json:"graph"`
 	Cached   bool   `json:"cached"`
 	// Source is the latency class that served this response: "cache"
-	// (resident entry), "store" (reloaded from the durable store), or
-	// "built" (cold construction). Cached is true exactly when Source is
-	// "cache".
-	Source       string  `json:"source"`
+	// (resident entry), "store" (reloaded from the durable store), "peer"
+	// (fetched from a cluster peer's store), or "built" (cold
+	// construction). Cached is true exactly when Source is "cache".
+	Source string `json:"source"`
+	// ServedBy is the node that executed the request (cluster mode only):
+	// on a forwarded request it names the owner, not the node the client
+	// dialed.
+	ServedBy     string  `json:"served_by,omitempty"`
 	BuildMillis  float64 `json:"build_ms"`
 	Delta        int     `json:"delta"`
 	Congestion   int     `json:"congestion"`
@@ -378,6 +405,19 @@ func (s *server) buildShortcut(ctx context.Context, req shortcutRequest) (shortc
 	if err != nil {
 		return zero, badRequest(err)
 	}
+	// Cluster routing: any node accepts the request, but the key's ring
+	// owner executes it (one singleflight, one build, one persisted record
+	// cluster-wide). A request already relayed once is served here
+	// unconditionally, and an unreachable owner degrades to local serving
+	// (peer fetch, then rebuild) rather than an error.
+	if s.cl != nil && !req.Forwarded {
+		key := service.ShortcutKey(fp, breq.Parts, opts)
+		if owner, self := s.cl.Owner(key); !self {
+			if resp, err, handled := s.forwardShortcut(ctx, owner, fp, g, req); handled {
+				return resp, err
+			}
+		}
+	}
 	c, hit, err := s.eng.Build(ctx, breq)
 	if err != nil {
 		return zero, err
@@ -394,6 +434,10 @@ func (s *server) buildShortcut(ctx context.Context, req shortcutRequest) (shortc
 	if !hit {
 		source = c.Source.String()
 	}
+	servedBy := ""
+	if s.cl != nil {
+		servedBy = s.cl.Self()
+	}
 	// Annotate the request log (no-op off the HTTP path): which graph and
 	// shortcut this request resolved to, and the latency class that served
 	// it — the three facts a slow-request investigation starts from.
@@ -407,6 +451,7 @@ func (s *server) buildShortcut(ctx context.Context, req shortcutRequest) (shortc
 		Graph:        c.GraphFP.String(),
 		Cached:       hit,
 		Source:       source,
+		ServedBy:     servedBy,
 		BuildMillis:  float64(c.BuildTime.Microseconds()) / 1000,
 		Delta:        c.Result.Delta,
 		Congestion:   q.Congestion,
@@ -416,12 +461,72 @@ func (s *server) buildShortcut(ctx context.Context, req shortcutRequest) (shortc
 	}, nil
 }
 
+// forwardShortcut relays one build request to the key's owner node.
+// handled is false only when the owner is unreachable (down backoff or
+// transport failure): the caller serves locally as the degraded path. A
+// reachable owner's answer — success or error — is final and relayed to
+// the client. An owner that has not seen the graph yet (404: the ingest
+// broadcast raced or was missed) gets the graph payload pushed and the
+// request retried once.
+func (s *server) forwardShortcut(ctx context.Context, owner string, fp service.Fingerprint,
+	g *graph.Graph, req shortcutRequest) (shortcutResponse, error, bool) {
+	var zero shortcutResponse
+	if !s.cl.Available(owner) {
+		return zero, nil, false
+	}
+	// Forwarded requests are always synchronous: async acceptance and the
+	// durable job record belong to the node the client dialed; the job's
+	// execution forwards through here.
+	req.Async = false
+	body, err := json.Marshal(req)
+	if err != nil {
+		return zero, err, true
+	}
+	for attempt := 0; ; attempt++ {
+		status, respBody, err := s.cl.ForwardRequest(ctx, owner, "/v1/shortcuts", body)
+		if err != nil {
+			if s.logger != nil {
+				s.logger.Warn("forward_failed", "owner", owner, "err", err.Error())
+			}
+			return zero, nil, false
+		}
+		switch {
+		case status == http.StatusOK:
+			var resp shortcutResponse
+			if err := json.Unmarshal(respBody, &resp); err != nil {
+				return zero, fmt.Errorf("forward: owner %s sent a malformed response: %w", owner, err), true
+			}
+			annotate(ctx, func(ri *reqInfo) {
+				ri.graph = resp.Graph
+				ri.shortcut = resp.Shortcut
+				ri.source = "forward:" + resp.Source
+			})
+			return resp, nil, true
+		case status == http.StatusNotFound && attempt == 0:
+			// The owner does not know the graph: push our copy and retry.
+			if err := s.cl.PushGraph(ctx, owner, fp, store.EncodeGraphPayload(g)); err != nil {
+				return zero, nil, false
+			}
+		default:
+			var envelope struct {
+				Error string `json:"error"`
+			}
+			_ = json.Unmarshal(respBody, &envelope)
+			if envelope.Error == "" {
+				envelope.Error = fmt.Sprintf("owner %s answered %d", owner, status)
+			}
+			return zero, &statusError{status: status, err: errors.New(envelope.Error)}, true
+		}
+	}
+}
+
 func (s *server) handleShortcuts(w http.ResponseWriter, r *http.Request) {
 	var req shortcutRequest
 	if err := decode(w, r, &req); err != nil {
 		httpError(w, decodeStatus(err), err)
 		return
 	}
+	req.Forwarded = r.Header.Get(cluster.ForwardedHeader) != ""
 	if req.Async {
 		s.submitAsync(w, jobKindShortcut, req)
 		return
@@ -887,6 +992,15 @@ func (s *server) snapshotStats() service.Stats {
 		st.AsyncRetries = js.Retries
 		st.AsyncPersistErrors = js.PersistErrors
 		st.AsyncRecoverSkip = js.RecoverSkipped
+	}
+	if s.cl != nil {
+		cs := s.cl.Stats()
+		st.Forwards = cs.Forwards
+		st.ForwardErrors = cs.ForwardErrors
+		st.SyncPulls = cs.SyncPulls
+		st.SyncRounds = cs.SyncRounds
+		st.SyncErrors = cs.SyncErrors
+		st.PeersReachable = cs.PeersReachable
 	}
 	return st
 }

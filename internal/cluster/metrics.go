@@ -1,0 +1,52 @@
+package cluster
+
+import "locshort/internal/obs"
+
+// clusterMetrics holds the cluster's observed histograms. Counters follow
+// the engine's pattern: the atomic counters on Cluster stay the single
+// source of truth and are exported as func-backed families read at scrape
+// time, so no event is ever double-counted.
+type clusterMetrics struct {
+	forwardSeconds   *obs.Histogram // forwarded-request round trip
+	syncRoundSeconds *obs.Histogram // full anti-entropy round
+}
+
+func newClusterMetrics(r *obs.Registry, c *Cluster) *clusterMetrics {
+	m := &clusterMetrics{
+		forwardSeconds: r.Histogram("locshort_cluster_forward_seconds",
+			"Round-trip time of build requests forwarded to the key's owner node.", nil, nil),
+		syncRoundSeconds: r.Histogram("locshort_cluster_sync_round_seconds",
+			"Wall time of full anti-entropy rounds across all peers.", nil, nil),
+	}
+
+	counter := func(name, help string, labels obs.Labels, load func() uint64) {
+		r.CounterFunc(name, help, labels, func() float64 { return float64(load()) })
+	}
+	counter("locshort_cluster_forwards_total", "Requests forwarded to the key's owner node, by outcome.",
+		obs.Labels{"outcome": "ok"}, c.forwards.Load)
+	counter("locshort_cluster_forwards_total", "Requests forwarded to the key's owner node, by outcome.",
+		obs.Labels{"outcome": "error"}, c.forwardErrs.Load)
+	counter("locshort_cluster_graph_pushes_total", "Graph payloads broadcast to peers on ingest, by outcome.",
+		obs.Labels{"outcome": "ok"}, c.pushes.Load)
+	counter("locshort_cluster_graph_pushes_total", "Graph payloads broadcast to peers on ingest, by outcome.",
+		obs.Labels{"outcome": "error"}, c.pushErrs.Load)
+	counter("locshort_cluster_sync_pulls_total", "Records imported from peers by the anti-entropy loop.",
+		nil, c.syncPulls.Load)
+	counter("locshort_cluster_sync_rounds_total", "Completed anti-entropy rounds.",
+		nil, c.syncRounds.Load)
+	counter("locshort_cluster_sync_errors_total", "Failed inventory fetches, record fetches, and imports during anti-entropy.",
+		nil, c.syncErrs.Load)
+
+	r.GaugeFunc("locshort_cluster_peers_reachable", "Peers that answered the last ring probe.", nil,
+		func() float64 { return float64(c.reachable.Load()) })
+	r.GaugeFunc("locshort_cluster_config_drift", "1 while a reachable peer's ring config disagrees with this node's (readiness is held down).", nil,
+		func() float64 {
+			if c.drift.Load() {
+				return 1
+			}
+			return 0
+		})
+	r.GaugeFunc("locshort_cluster_nodes", "Configured cluster membership size, including this node.", nil,
+		func() float64 { return float64(len(c.peers) + 1) })
+	return m
+}

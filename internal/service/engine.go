@@ -34,6 +34,12 @@ type Config struct {
 	// rebuilding, and WarmStart re-registers every persisted graph on
 	// boot. A nil Store keeps the engine fully in-memory.
 	Store Store
+	// Peers, when non-nil, extends the miss chain with a cluster peer-fetch
+	// step: local cache → local store → peer store → cold build, all behind
+	// the singleflight, so a restart stampede or a cross-node miss costs at
+	// most one peer round-trip per key. internal/cluster provides the
+	// implementation; a nil Peers keeps the engine single-node.
+	Peers PeerFetcher
 
 	// The Async* knobs configure the internal/jobs manager layered on
 	// this engine (locshortd builds one from them; see jobs.Config for the
@@ -465,7 +471,7 @@ func (e *Engine) Build(ctx context.Context, req BuildRequest) (c *Cached, hit bo
 		// cancellation: every waiter (including the first) abandons
 		// individually via getOrBuild, while the construction itself runs
 		// to completion and warms the cache.
-		return submit(e, context.WithoutCancel(ctx), func(context.Context) (*Cached, error) {
+		return submit(e, context.WithoutCancel(ctx), func(jctx context.Context) (*Cached, error) {
 			// The trace (when tracing is on) is assembled here, behind the
 			// singleflight, so every construction yields exactly one trace
 			// no matter how many callers joined the build. It is published
@@ -511,6 +517,49 @@ func (e *Engine) Build(ctx context.Context, req BuildRequest) (c *Cached, hit bo
 					}, nil
 				default:
 					e.counters.storeMisses.Add(1)
+				}
+			}
+			// Peer-fetch: after the local store misses, ask the key's
+			// replica peers before paying a cold construction. Behind the
+			// singleflight like the store check, so a cross-node miss
+			// stampede costs one peer round-trip. The fetcher re-verifies
+			// every payload against its fingerprints and imports the record
+			// into the local store itself — no detached persist here. A
+			// fetch error (unreachable peers, failed verification) falls
+			// through to a fresh construction: the cluster degrades to
+			// building locally, never to failing the request.
+			if pf := e.cfg.Peers; pf != nil {
+				// jctx, not ctx: the build job is detached from the
+				// triggering caller, and so is its peer fetch — the
+				// fetcher applies its own per-peer timeouts.
+				fetchStart := time.Now()
+				res, bt, ok, err := pf.FetchShortcut(jctx, key, g, req.Parts)
+				fetchDur := time.Since(fetchStart)
+				if tb != nil {
+					tb.Add("peer_fetch", tb.Elapsed()-fetchDur, fetchDur)
+				}
+				switch {
+				case err != nil:
+					e.counters.peerErrs.Add(1)
+				case ok:
+					e.counters.peerHits.Add(1)
+					if e.metrics != nil {
+						e.metrics.peerFetchSeconds.Observe(fetchDur)
+					}
+					return &Cached{
+						Key:        key,
+						GraphFP:    req.Graph,
+						G:          g,
+						Parts:      req.Parts,
+						Result:     res,
+						BuildTime:  bt,
+						Source:     SourcePeer,
+						trace:      tb,
+						tracer:     e.cfg.Tracer,
+						engMetrics: e.metrics,
+					}, nil
+				default:
+					e.counters.peerMisses.Add(1)
 				}
 			}
 			bld := e.builders.Get().(*shortcut.Builder)

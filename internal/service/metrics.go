@@ -14,11 +14,12 @@ import (
 // resolved at engine construction, so recording is a few atomic adds with
 // no registry lookups — warm cache hits stay allocation-free.
 type engineMetrics struct {
-	buildSeconds   *obs.Histogram // shortcut construction wall time
-	loadSeconds    *obs.Histogram // durable-store shortcut load wall time
-	persistSeconds *obs.Histogram // detached store persist wall time
-	measureSeconds *obs.Histogram // first Quality() measurement per entry
-	jobSeconds     *obs.Histogram // worker-pool job execution time
+	buildSeconds     *obs.Histogram // shortcut construction wall time
+	loadSeconds      *obs.Histogram // durable-store shortcut load wall time
+	persistSeconds   *obs.Histogram // detached store persist wall time
+	measureSeconds   *obs.Histogram // first Quality() measurement per entry
+	jobSeconds       *obs.Histogram // worker-pool job execution time
+	peerFetchSeconds *obs.Histogram // successful cluster peer fetch wall time
 
 	// stageSeconds aggregates Builder stage timings by stage name; the
 	// per-delta' level stages collapse into one "level" series to keep
@@ -42,6 +43,8 @@ func newEngineMetrics(r *obs.Registry, e *Engine) *engineMetrics {
 			"Wall time of first-time quality measurement per cached shortcut.", nil, nil),
 		jobSeconds: r.Histogram("locshort_engine_job_seconds",
 			"Execution time of worker-pool jobs (excludes queue wait).", nil, nil),
+		peerFetchSeconds: r.Histogram("locshort_engine_peer_fetch_seconds",
+			"Wall time of shortcut loads served by fetching a peer node's record.", nil, nil),
 		stageSeconds: make(map[string]*obs.Histogram, len(builderStageNames)),
 	}
 	for _, name := range builderStageNames {
@@ -64,6 +67,9 @@ func newEngineMetrics(r *obs.Registry, e *Engine) *engineMetrics {
 	counter("locshort_engine_jobs_total", "Worker-pool jobs by outcome.", obs.Labels{"outcome": "canceled"}, c.jobsCanceled.Load)
 	counter("locshort_engine_store_reads_total", "Durable-store shortcut lookups by outcome.", obs.Labels{"outcome": "hit"}, c.storeHits.Load)
 	counter("locshort_engine_store_reads_total", "Durable-store shortcut lookups by outcome.", obs.Labels{"outcome": "miss"}, c.storeMisses.Load)
+	counter("locshort_engine_peer_reads_total", "Cluster peer shortcut fetches by outcome.", obs.Labels{"outcome": "hit"}, c.peerHits.Load)
+	counter("locshort_engine_peer_reads_total", "Cluster peer shortcut fetches by outcome.", obs.Labels{"outcome": "miss"}, c.peerMisses.Load)
+	counter("locshort_engine_peer_reads_total", "Cluster peer shortcut fetches by outcome.", obs.Labels{"outcome": "error"}, c.peerErrs.Load)
 	counter("locshort_engine_store_writes_total", "Persisted shortcut builds.", nil, c.storeWrites.Load)
 	counter("locshort_engine_store_errors_total", "Failed durable-store reads and writes (best-effort persistence; alert here).", nil, c.storeErrs.Load)
 

@@ -654,3 +654,116 @@ func TestEngineStoreWriteFailureCounted(t *testing.T) {
 		t.Errorf("store stats = errors %d writes %d, want 1 and 0", s.StoreErrors, s.StoreWrites)
 	}
 }
+
+// stubPeerFetcher is an in-memory service.PeerFetcher: a canned response
+// plus a call counter, independent of internal/cluster (which has its own
+// suite plus the cmd/locshortd multi-node e2e).
+type stubPeerFetcher struct {
+	mu    sync.Mutex
+	calls int
+	res   *shortcut.Result
+	bt    time.Duration
+	ok    bool
+	err   error
+}
+
+func (f *stubPeerFetcher) FetchShortcut(ctx context.Context, key Fingerprint,
+	g *graph.Graph, parts *partition.Partition) (*shortcut.Result, time.Duration, bool, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.calls++
+	return f.res, f.bt, f.ok, f.err
+}
+
+// TestEnginePeerFetchHit: a peer hit serves the entry with Source "peer",
+// skips the construction entirely, and is NOT re-persisted by the engine
+// (the fetcher contract says the implementation already imported it).
+func TestEnginePeerFetchHit(t *testing.T) {
+	g, p := testGraph(t)
+	res, err := shortcut.Build(g, p, shortcut.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := newStubStore()
+	pf := &stubPeerFetcher{res: res, bt: 77 * time.Millisecond, ok: true}
+	e := newTestEngine(t, Config{Workers: 2, Store: st, Peers: pf})
+	fp, err := e.AddGraph(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, hit, err := e.Build(context.Background(), BuildRequest{Graph: fp, Parts: p})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hit {
+		t.Fatal("first request reported a cache hit")
+	}
+	if c.Source != SourcePeer || c.Source.String() != "peer" {
+		t.Fatalf("source = %v (%q), want SourcePeer", c.Source, c.Source.String())
+	}
+	if c.BuildTime != 77*time.Millisecond {
+		t.Fatalf("peer build time not preserved: %v", c.BuildTime)
+	}
+	s := e.Stats()
+	if s.Builds != 0 {
+		t.Fatalf("builds = %d, want 0 (peer hit must not construct)", s.Builds)
+	}
+	if s.PeerHits != 1 || s.PeerMisses != 0 || s.PeerErrors != 0 {
+		t.Fatalf("peer counters = %d/%d/%d, want 1/0/0", s.PeerHits, s.PeerMisses, s.PeerErrors)
+	}
+	st.mu.Lock()
+	puts := st.puts
+	st.mu.Unlock()
+	if puts != 0 {
+		t.Fatalf("engine persisted a peer-fetched entry (%d puts); the fetcher owns durability", puts)
+	}
+	// Second request: resident cache hit, the fetcher is not consulted again.
+	if _, hit, err := e.Build(context.Background(), BuildRequest{Graph: fp, Parts: p}); err != nil || !hit {
+		t.Fatalf("second request: hit=%v err=%v", hit, err)
+	}
+	pf.mu.Lock()
+	calls := pf.calls
+	pf.mu.Unlock()
+	if calls != 1 {
+		t.Fatalf("fetcher consulted %d times, want 1", calls)
+	}
+}
+
+// TestEnginePeerFetchMissAndError: a clean miss falls through to the
+// construction and counts PeerMisses; a fetch error also falls through but
+// counts PeerErrors — the request must never fail because peers did.
+func TestEnginePeerFetchMissAndError(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		pf   *stubPeerFetcher
+	}{
+		{"miss", &stubPeerFetcher{ok: false}},
+		{"error", &stubPeerFetcher{err: errors.New("stub: peers unreachable")}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			g, p := testGraph(t)
+			e := newTestEngine(t, Config{Workers: 2, Peers: tc.pf})
+			fp, err := e.AddGraph(g)
+			if err != nil {
+				t.Fatal(err)
+			}
+			c, _, err := e.Build(context.Background(), BuildRequest{Graph: fp, Parts: p})
+			if err != nil {
+				t.Fatalf("build must survive a peer %s: %v", tc.name, err)
+			}
+			if c.Source != SourceBuilt {
+				t.Fatalf("source = %v, want SourceBuilt", c.Source)
+			}
+			s := e.Stats()
+			if s.Builds != 1 {
+				t.Fatalf("builds = %d, want 1", s.Builds)
+			}
+			if tc.name == "miss" && (s.PeerMisses != 1 || s.PeerErrors != 0) {
+				t.Fatalf("peer counters = misses %d errors %d, want 1/0", s.PeerMisses, s.PeerErrors)
+			}
+			if tc.name == "error" && (s.PeerErrors != 1 || s.PeerMisses != 0) {
+				t.Fatalf("peer counters = misses %d errors %d, want 0/1", s.PeerMisses, s.PeerErrors)
+			}
+		})
+	}
+}

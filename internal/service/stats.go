@@ -23,6 +23,10 @@ type counters struct {
 	storeMisses atomic.Uint64
 	storeWrites atomic.Uint64
 	storeErrs   atomic.Uint64
+
+	peerHits   atomic.Uint64
+	peerMisses atomic.Uint64
+	peerErrs   atomic.Uint64
 }
 
 // Stats is an atomic snapshot of the engine's counters, safe to read while
@@ -63,8 +67,32 @@ type Stats struct {
 	StoreWrites uint64 `json:"store_writes"`
 	StoreErrors uint64 `json:"store_errors"`
 
+	// Cluster peer-fetch counters, all zero unless Config.Peers is set.
+	// PeerHits counts store misses served by fetching a peer's record
+	// (re-verified locally); PeerMisses counts fetches no reachable peer
+	// could serve (the request went on to build); PeerErrors counts failed
+	// fetches — unreachable replicas or records that failed verification.
+	PeerHits   uint64 `json:"peer_hits"`
+	PeerMisses uint64 `json:"peer_misses"`
+	PeerErrors uint64 `json:"peer_errors"`
+
 	// Graphs is the number of distinct graphs registered.
 	Graphs int `json:"graphs"`
+
+	// Cluster router/sync gauges, filled in by the layer that owns the
+	// internal/cluster instance (the locshortd stats handler), like the
+	// Async* fields below; the engine leaves them zero. Forwards counts
+	// requests this node routed to a key's owner; ForwardErrors counts
+	// forwards that failed over to local serving (owner down). SyncPulls
+	// counts records the anti-entropy loop imported from peers across
+	// SyncRounds rounds; PeersReachable is the last round's live peer
+	// count.
+	Forwards       uint64 `json:"forwards"`
+	ForwardErrors  uint64 `json:"forward_errors"`
+	SyncPulls      uint64 `json:"sync_pulls"`
+	SyncRounds     uint64 `json:"sync_rounds"`
+	SyncErrors     uint64 `json:"sync_errors"`
+	PeersReachable int64  `json:"peers_reachable"`
 
 	// Async job-manager gauges, filled in by the layer that owns the
 	// internal/jobs manager (the locshortd stats handler) — the engine
@@ -112,6 +140,9 @@ func (c *counters) snapshot() Stats {
 		StoreMisses:    c.storeMisses.Load(),
 		StoreWrites:    c.storeWrites.Load(),
 		StoreErrors:    c.storeErrs.Load(),
+		PeerHits:       c.peerHits.Load(),
+		PeerMisses:     c.peerMisses.Load(),
+		PeerErrors:     c.peerErrs.Load(),
 	}
 	if s.Builds > 0 {
 		s.AvgBuildNanos = s.BuildTotalNs / int64(s.Builds)

@@ -1,6 +1,7 @@
 package service
 
 import (
+	"context"
 	"time"
 
 	"locshort/internal/graph"
@@ -47,11 +48,32 @@ type Store interface {
 	DeleteGraph(fp Fingerprint) error
 }
 
+// PeerFetcher is the cluster-mode extension of the miss chain
+// (Config.Peers): after the local cache and local store both miss, the
+// engine asks the fetcher for the record before paying a cold construction.
+// internal/cluster implements it by asking the key's replica nodes over the
+// peer API and re-verifying every fetched payload against its fingerprints;
+// the interface lives here so the dependency points downward (cluster
+// imports service, never the other way around).
+type PeerFetcher interface {
+	// FetchShortcut returns the shortcut stored under key on some peer,
+	// reconstructed against g (the engine's representative) and parts (the
+	// requested partition), plus the original construction's cost. ok is
+	// false when no reachable peer holds the record; a fetched record that
+	// fails verification returns an error. The implementation owns
+	// durability: a successfully fetched record is already imported into
+	// the local store when FetchShortcut returns, so the engine must not
+	// persist it again.
+	FetchShortcut(ctx context.Context, key Fingerprint, g *graph.Graph, parts *partition.Partition) (
+		res *shortcut.Result, buildTime time.Duration, ok bool, err error)
+}
+
 // BuildSource records how a Cached entry materialized: by running the
-// construction, or by loading a persisted build from the durable store.
-// Together with Engine.Build's hit flag this classifies every response into
-// the three latency classes the load generator reports: cache (resident),
-// store (warm start), built (cold construction).
+// construction, by loading a persisted build from the durable store, or by
+// fetching a peer node's persisted build. Together with Engine.Build's hit
+// flag this classifies every response into the latency classes the load
+// generator reports: cache (resident), store (warm start), peer (cluster
+// fetch), built (cold construction).
 type BuildSource uint8
 
 const (
@@ -60,12 +82,18 @@ const (
 	// SourceStore marks an entry loaded from the durable store without
 	// rebuilding.
 	SourceStore
+	// SourcePeer marks an entry fetched from a peer node's store without
+	// rebuilding (cluster mode only).
+	SourcePeer
 )
 
 // String returns the wire form used in the locshortd shortcut response.
 func (s BuildSource) String() string {
-	if s == SourceStore {
+	switch s {
+	case SourceStore:
 		return "store"
+	case SourcePeer:
+		return "peer"
 	}
 	return "built"
 }
