@@ -95,8 +95,11 @@ import (
 	"sync"
 	"time"
 
+	"locshort/internal/cli"
 	"locshort/internal/obs"
 	"locshort/internal/service"
+	"locshort/internal/store"
+	"locshort/internal/wire"
 )
 
 func main() {
@@ -140,6 +143,53 @@ func (c *client) postStatus(path string, body any, wantStatus int, out any) erro
 		return json.NewDecoder(resp.Body).Decode(out)
 	}
 	return nil
+}
+
+// postGraphBinary ingests a canonical graph payload over the binary
+// protocol. The If-None-Match probe makes re-ingest of known content a
+// 304 before the server reads the body.
+func (c *client) postGraphBinary(payload []byte, fp string) error {
+	req, err := http.NewRequest(http.MethodPost, c.base+"/v1/graphs", bytes.NewReader(payload))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", wire.ContentType)
+	req.Header.Set("Accept", wire.ContentType)
+	req.Header.Set("If-None-Match", `"`+fp+`"`)
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusNotModified {
+		return fmt.Errorf("POST /v1/graphs: %s: %s", resp.Status, strings.TrimSpace(string(msg)))
+	}
+	return nil
+}
+
+// postShortcutBinary issues one binary-protocol build-or-get. The latency
+// class comes back in a response header; the payload body is fully
+// drained so the connection goes back to the keep-alive pool.
+func (c *client) postShortcutBinary(fp service.Fingerprint, partSpec string, seed int64) (source string, err error) {
+	body := wire.AppendShortcutRequest(nil, wire.ShortcutRequest{Graph: fp, Partition: partSpec, Seed: seed})
+	req, err := http.NewRequest(http.MethodPost, c.base+"/v1/shortcuts", bytes.NewReader(body))
+	if err != nil {
+		return "", err
+	}
+	req.Header.Set("Content-Type", wire.ContentType)
+	req.Header.Set("Accept", wire.ContentType)
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return "", fmt.Errorf("POST /v1/shortcuts: %s: %s", resp.Status, strings.TrimSpace(string(msg)))
+	}
+	io.Copy(io.Discard, resp.Body)
+	return resp.Header.Get(wire.HeaderSource), nil
 }
 
 func (c *client) get(path string, out any) error {
@@ -209,6 +259,7 @@ func run() error {
 		zipfS            = flag.Float64("zipf", 1.3, "Zipf skew across catalog ranks (>1)")
 		jobFrac          = flag.Float64("job-frac", 0, "fraction of requests that are MST jobs instead of shortcut builds")
 		seed             = flag.Int64("seed", 1, "generator seed")
+		encoding         = flag.String("encoding", "json", "wire encoding for ingest and synchronous shortcut requests: json or binary (async and job requests always use JSON)")
 		async            = flag.Bool("async", false, "submit with \"async\": true and long-poll GET /v1/jobs/{id}; report submit vs complete latency")
 		requireHits      = flag.Bool("require-hits", false, "exit nonzero unless the server reports cache hits")
 		requireStoreHits = flag.Bool("require-store-hits", false, "exit nonzero unless the server reports durable-store hits (restart-recovery assertion)")
@@ -226,6 +277,10 @@ func run() error {
 	if *jobFrac < 0 || *jobFrac > 1 {
 		return fmt.Errorf("-job-frac must be in [0,1], got %v", *jobFrac)
 	}
+	if *encoding != "json" && *encoding != "binary" {
+		return fmt.Errorf("-encoding must be json or binary, got %q", *encoding)
+	}
+	binary := *encoding == "binary"
 
 	// Resolve the target list: -addrs (a cluster) wins over -addr (one
 	// daemon). Every node gets its own client; connections rotate through
@@ -269,19 +324,45 @@ func run() error {
 	// reached everyone before load starts.
 	specs := strings.Split(*catalog, ";")
 	fps := make([]string, len(specs))
+	binFPs := make([]service.Fingerprint, len(specs))
 	for i, spec := range specs {
+		spec = strings.TrimSpace(spec)
+		if binary {
+			// Binary ingest: encode the canonical payload client-side, hash
+			// it to the fingerprint the server will agree on, and send the
+			// bytes with an If-None-Match probe (re-ingest on later nodes or
+			// runs is a 304).
+			g, _, err := cli.ParseGraph(spec, 0)
+			if err != nil {
+				return fmt.Errorf("parse %q: %w", spec, err)
+			}
+			payload := store.EncodeGraphPayload(g)
+			binFPs[i] = service.FingerprintBytes(payload[1:])
+			fps[i] = binFPs[i].String()
+			for _, tc := range clients {
+				if err := tc.postGraphBinary(payload, fps[i]); err != nil {
+					return fmt.Errorf("ingest %q on %s: %w", spec, tc.name, err)
+				}
+			}
+			fmt.Printf("ingested %-16s %s (%d nodes, binary)\n", spec, fps[i], g.NumNodes())
+			continue
+		}
 		var g struct {
 			Graph string `json:"graph"`
 			Nodes int    `json:"nodes"`
 		}
 		for _, tc := range clients {
-			if err := tc.post("/v1/graphs", map[string]any{"spec": strings.TrimSpace(spec)}, &g); err != nil {
+			if err := tc.post("/v1/graphs", map[string]any{"spec": spec}, &g); err != nil {
 				return fmt.Errorf("ingest %q on %s: %w", spec, tc.name, err)
 			}
 		}
 		fps[i] = g.Graph
 		fmt.Printf("ingested %-16s %s (%d nodes)\n", spec, g.Graph, g.Nodes)
 	}
+
+	// Cumulative server-side counters before the run: the delta across the
+	// run gives server allocations per request (see the summary line).
+	allocs0, reqs0, allocsOK := sampleServerAllocs(clients)
 
 	// Closed loop: each connection issues the next request as soon as the
 	// previous one returns (in -async mode: as soon as the previous job
@@ -325,6 +406,8 @@ func run() error {
 					err = tc.post("/v1/jobs", map[string]any{
 						"kind": "mst", "graph": fps[gi], "seed": ps,
 					}, nil)
+				case binary:
+					s.source, err = tc.postShortcutBinary(binFPs[gi], *partSpec, ps)
 				default:
 					var resp struct {
 						Cached bool   `json:"cached"`
@@ -371,6 +454,16 @@ func run() error {
 		return fmt.Errorf("no request completed within %v", *duration)
 	}
 	report(samples, submits, errs, *duration)
+	// Server-side allocations per request across the run, from the
+	// locshort_go_mallocs_total delta over the request-count delta — the
+	// cheap always-on stand-in for an allocation profile, and the number
+	// the binary protocol exists to shrink.
+	if a1, r1, ok := sampleServerAllocs(clients); ok && allocsOK && r1 > reqs0 {
+		fmt.Printf("encoding: %s, server allocs/request: %.0f (over %.0f requests)\n",
+			*encoding, (a1-allocs0)/(r1-reqs0), r1-reqs0)
+	} else {
+		fmt.Printf("encoding: %s\n", *encoding)
+	}
 	if firstErr != nil {
 		fmt.Printf("first error: %v\n", firstErr)
 	}
@@ -471,6 +564,33 @@ func reportClusterMetrics(clients []*client) {
 			v("locshort_cluster_forwards_total", obs.Labels{"outcome": "ok"}),
 			v("locshort_cluster_sync_pulls_total", nil))
 	}
+}
+
+// sampleServerAllocs reads the cumulative server-side allocation and HTTP
+// request counters from every node's /metrics. Best effort: a node without
+// the metrics (pre-metrics daemon, or /metrics disabled) reports ok=false
+// and the summary's allocs/request line is skipped.
+func sampleServerAllocs(clients []*client) (mallocs, requests float64, ok bool) {
+	for _, tc := range clients {
+		resp, err := tc.hc.Get(tc.base + "/metrics")
+		if err != nil {
+			return 0, 0, false
+		}
+		sc, perr := obs.ParsePrometheus(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK || perr != nil {
+			return 0, 0, false
+		}
+		m, found := sc.Value("locshort_go_mallocs_total", nil)
+		if !found {
+			return 0, 0, false
+		}
+		mallocs += m
+		for _, s := range sc.Matching("locshort_http_requests_total", nil) {
+			requests += s.Value
+		}
+	}
+	return mallocs, requests, true
 }
 
 // awaitReady polls GET /readyz until the daemon reports ready, the probe

@@ -1,12 +1,17 @@
-// Command locshortd is the shortcut-serving daemon: an HTTP JSON front end
+// Command locshortd is the shortcut-serving daemon: an HTTP front end
 // over internal/service's concurrent engine and content-addressed cache,
-// optionally backed by the internal/store durable snapshot store.
+// optionally backed by the internal/store durable snapshot store. Every
+// route speaks JSON; the hot routes additionally speak the binary
+// application/x-locshort protocol (internal/wire), which moves the
+// store's canonical payloads verbatim — negotiated per request with
+// ordinary Content-Type/Accept headers, no flag needed. See OPERATIONS.md
+// §Wire protocol.
 //
 // Usage:
 //
 //	locshortd [-addr 127.0.0.1:8080] [-workers N] [-cache N] [-queue N]
 //	          [-async-queue N] [-async-workers N] [-retries N]
-//	          [-data DIR] [-addrfile PATH] [-pprof ADDR]
+//	          [-data DIR] [-mmap=false] [-addrfile PATH] [-pprof ADDR]
 //	          [-slow-request DUR] [-traces N] [-quiet]
 //	          [-cluster-self HOST:PORT -cluster-peers H1:P1,H2:P2,...]
 //	          [-cluster-vnodes N] [-cluster-replicas N] [-sync-interval DUR]
@@ -60,8 +65,12 @@
 // and async job records persist to the append-only store in DIR, the
 // graph catalog warm-starts on boot, and cache misses are served
 // store-first — so a restart costs a store read per shortcut instead of a
-// rebuild stampede. See OPERATIONS.md for the on-disk layout and the
-// locshortctl runbook (backup, gc, verify, jobs).
+// rebuild stampede. Sealed segments are memory-mapped read-only and
+// binary responses serve their payloads as subslices of the mapping,
+// zero-copy; -mmap=false forces the portable pread path (fresh buffer,
+// per-read checksum) if a platform or filesystem misbehaves under mmap.
+// See OPERATIONS.md for the on-disk layout and the locshortctl runbook
+// (backup, gc, verify, jobs).
 //
 // -addr :0 picks a free port; the bound address is printed on stdout and,
 // with -addrfile, written to PATH so scripts (CI, cmd/loadgen) can find
@@ -120,6 +129,7 @@ func run() error {
 		addrfile     = flag.String("addrfile", "", "write the bound address to this file")
 		pprofA       = flag.String("pprof", "", "serve net/http/pprof on this address (empty: disabled)")
 		data         = flag.String("data", "", "durable store directory (empty: in-memory only)")
+		mmapF        = flag.Bool("mmap", true, "memory-map sealed store segments for zero-copy reads (-mmap=false forces pread)")
 		slowReq      = flag.Duration("slow-request", 0, "warn with a build-stage breakdown for requests at least this slow (0: disabled)")
 		traceCap     = flag.Int("traces", 128, "build traces retained for GET /v1/traces")
 		quiet        = flag.Bool("quiet", false, "suppress per-request log lines (metrics and traces stay on)")
@@ -153,7 +163,7 @@ func run() error {
 	var st *store.Store
 	if *data != "" {
 		var err error
-		st, err = store.Open(*data, store.Options{Obs: reg})
+		st, err = store.Open(*data, store.Options{Obs: reg, NoMmap: !*mmapF})
 		if err != nil {
 			return fmt.Errorf("open store: %w", err)
 		}
@@ -225,6 +235,7 @@ func run() error {
 		slowRequest: *slowReq,
 		ready:       readyFn,
 		cluster:     cl,
+		store:       st,
 	})
 	mgr := srv.mgr
 	// Close order (LIFO with the defers above): manager first, so

@@ -12,6 +12,7 @@ import (
 
 	"locshort/internal/cluster"
 	"locshort/internal/obs"
+	"locshort/internal/store"
 )
 
 // serverOptions carries the observability wiring into newServer. The zero
@@ -35,6 +36,9 @@ type serverOptions struct {
 	ready func() bool
 	// cluster enables multi-node mode (see server.cl); nil single-node.
 	cluster *cluster.Cluster
+	// store is the durable store behind the engine (nil without -data);
+	// the binary /v1/shortcuts path serves stored payloads straight from it.
+	store *store.Store
 }
 
 // errStarting is the 503 body served on /v1/ routes before readiness.
@@ -150,10 +154,15 @@ func (s *server) instrument(next http.Handler) http.Handler {
 			// compare ring configs (the drift that may be holding readiness
 			// down clears only through this path) and pull records from a
 			// warming node.
-			httpError(w, http.StatusServiceUnavailable, errStarting)
+			s.httpError(w, http.StatusServiceUnavailable, errStarting)
 			return
 		}
-		id := obs.NewRequestID()
+		// The request ID exists for the log line; without a logger the
+		// crypto/rand read per request is pure overhead on the warm path.
+		id := ""
+		if s.logger != nil {
+			id = obs.NewRequestID()
+		}
 		start := time.Now()
 		ri := &reqInfo{}
 		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
@@ -248,7 +257,7 @@ func (s *server) handleTraces(w http.ResponseWriter, r *http.Request) {
 	if ns := r.URL.Query().Get("n"); ns != "" {
 		v, err := strconv.Atoi(ns)
 		if err != nil || v < 0 {
-			httpError(w, http.StatusBadRequest, fmt.Errorf("bad n %q: want a non-negative integer", ns))
+			s.httpError(w, http.StatusBadRequest, fmt.Errorf("bad n %q: want a non-negative integer", ns))
 			return
 		}
 		n = v
@@ -257,7 +266,7 @@ func (s *server) handleTraces(w http.ResponseWriter, r *http.Request) {
 	if s.tracer != nil {
 		traces = s.tracer.Recent(n)
 	}
-	writeJSON(w, map[string]any{"traces": traces})
+	s.writeJSON(w, map[string]any{"traces": traces})
 }
 
 // handleReadyz is the readiness probe: 200 once warm start, job recovery,

@@ -6,7 +6,10 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
+	"runtime"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -21,6 +24,7 @@ import (
 	"locshort/internal/partition"
 	"locshort/internal/service"
 	"locshort/internal/store"
+	"locshort/internal/wire"
 )
 
 // server wires the service engine and the async job manager to the HTTP
@@ -38,6 +42,14 @@ type server struct {
 	// owner, ingested graphs broadcast to peers, and /v1/peer/ serves the
 	// internal record-exchange API.
 	cl *cluster.Cluster
+	// st is the durable store when the daemon runs with -data (nil
+	// otherwise): the binary /v1/shortcuts response path serves the stored
+	// canonical payload from it — zero-copy off a mapped segment — instead
+	// of re-encoding the cached result.
+	st *store.Store
+	// encodeErrs counts response encode/write failures
+	// (locshort_http_encode_errors_total).
+	encodeErrs atomic.Uint64
 	// Observability wiring (see obs.go); all optional, nil when the server
 	// is constructed with a zero serverOptions.
 	obsReg      *obs.Registry
@@ -79,6 +91,21 @@ func newServer(eng *service.Engine, jcfg jobs.Config, o serverOptions) (*server,
 		slowRequest: o.slowRequest,
 		ready:       o.ready,
 		cl:          o.cluster,
+		st:          o.store,
+	}
+	if o.reg != nil {
+		o.reg.CounterFunc("locshort_http_encode_errors_total",
+			"Response encode or write failures (previously dropped silently).",
+			nil, func() float64 { return float64(s.encodeErrs.Load()) })
+		// Cumulative heap allocation count: loadgen samples it around a run
+		// to report allocs per request without attaching a profiler.
+		o.reg.CounterFunc("locshort_go_mallocs_total",
+			"Cumulative heap objects allocated (runtime.MemStats.Mallocs).",
+			nil, func() float64 {
+				var ms runtime.MemStats
+				runtime.ReadMemStats(&ms)
+				return float64(ms.Mallocs)
+			})
 	}
 	s.mgr = jobs.New(jcfg, s.execAsync)
 	mux := http.NewServeMux()
@@ -107,16 +134,66 @@ func newServer(eng *service.Engine, jcfg jobs.Config, o serverOptions) (*server,
 	return s, s.instrument(mux)
 }
 
-// httpError is the uniform error envelope.
-func httpError(w http.ResponseWriter, code int, err error) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(code)
-	json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+// pooledEncoder pairs a reusable buffer with a json.Encoder bound to it.
+// Encoding into a pooled buffer and writing once replaces the old
+// per-response json.NewEncoder(w) — one allocation-heavy construction per
+// request on the warm path — and gives every response a single Write whose
+// error is actually checked.
+type pooledEncoder struct {
+	buf bytes.Buffer
+	enc *json.Encoder
 }
 
-func writeJSON(w http.ResponseWriter, v any) {
+var encPool = sync.Pool{New: func() any {
+	e := &pooledEncoder{}
+	e.enc = json.NewEncoder(&e.buf)
+	return e
+}}
+
+// maxPooledBuf keeps one giant response (a full job listing, say) from
+// pinning its buffer in the pool forever.
+const maxPooledBuf = 1 << 20
+
+// writeJSONStatus encodes v through the encoder pool and writes it with
+// the given status (0: implicit 200). Encode and write failures — silently
+// dropped before — are logged and counted in
+// locshort_http_encode_errors_total.
+func (s *server) writeJSONStatus(w http.ResponseWriter, code int, v any) {
+	e := encPool.Get().(*pooledEncoder)
+	e.buf.Reset()
+	if err := e.enc.Encode(v); err != nil {
+		encPool.Put(e)
+		s.encodeFailed(err)
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusInternalServerError)
+		fmt.Fprintf(w, "{\"error\":%q}\n", "encode: "+err.Error())
+		return
+	}
 	w.Header().Set("Content-Type", "application/json")
-	json.NewEncoder(w).Encode(v)
+	if code != 0 {
+		w.WriteHeader(code)
+	}
+	if _, err := w.Write(e.buf.Bytes()); err != nil {
+		// Headers are gone; log so a flaky client link is diagnosable.
+		s.encodeFailed(err)
+	}
+	if e.buf.Cap() <= maxPooledBuf {
+		encPool.Put(e)
+	}
+}
+
+func (s *server) writeJSON(w http.ResponseWriter, v any) { s.writeJSONStatus(w, 0, v) }
+
+// httpError is the uniform error envelope.
+func (s *server) httpError(w http.ResponseWriter, code int, err error) {
+	s.writeJSONStatus(w, code, map[string]string{"error": err.Error()})
+}
+
+func (s *server) encodeFailed(err error) {
+	s.encodeErrs.Add(1)
+	if s.logger != nil {
+		s.logger.Warn("http_encode_failed", "err", err.Error())
+	}
 }
 
 // decode reads a JSON request body capped at 64 MiB. The ResponseWriter
@@ -192,37 +269,41 @@ type graphResponse struct {
 }
 
 func (s *server) handleGraphs(w http.ResponseWriter, r *http.Request) {
+	if wire.IsBinary(r.Header.Get("Content-Type")) {
+		s.handleGraphsBinary(w, r)
+		return
+	}
 	var req graphRequest
 	if err := decode(w, r, &req); err != nil {
-		httpError(w, decodeStatus(err), err)
+		s.httpError(w, decodeStatus(err), err)
 		return
 	}
 	var g *graph.Graph
 	switch {
 	case req.Spec != "" && req.Edges != nil:
-		httpError(w, http.StatusBadRequest, errors.New("give either spec or edges, not both"))
+		s.httpError(w, http.StatusBadRequest, errors.New("give either spec or edges, not both"))
 		return
 	case req.Spec != "":
 		var err error
 		g, _, err = cli.ParseGraph(req.Spec, req.Seed)
 		if err != nil {
-			httpError(w, http.StatusBadRequest, err)
+			s.httpError(w, http.StatusBadRequest, err)
 			return
 		}
 	case req.Edges != nil:
 		var err error
 		g, err = graphFromEdges(req.Nodes, req.Edges)
 		if err != nil {
-			httpError(w, http.StatusBadRequest, err)
+			s.httpError(w, http.StatusBadRequest, err)
 			return
 		}
 	default:
-		httpError(w, http.StatusBadRequest, errors.New("need spec or nodes+edges"))
+		s.httpError(w, http.StatusBadRequest, errors.New("need spec or nodes+edges"))
 		return
 	}
 	fp, err := s.eng.AddGraph(g)
 	if err != nil {
-		httpError(w, http.StatusUnprocessableEntity, err)
+		s.httpError(w, http.StatusUnprocessableEntity, err)
 		return
 	}
 	// Cluster mode: replicate the graph to every peer before acknowledging,
@@ -236,7 +317,67 @@ func (s *server) handleGraphs(w http.ResponseWriter, r *http.Request) {
 	// content it matches the representative by construction, and unlike a
 	// Graph(fp) readback it cannot race a concurrent DELETE of the
 	// fingerprint into a nil dereference.
-	writeJSON(w, graphResponse{Graph: fp.String(), Nodes: g.NumNodes(), Edges: g.NumEdges()})
+	s.respondGraph(w, r, fp, g)
+}
+
+// handleGraphsBinary ingests a canonical graph payload directly: the body
+// bytes are exactly what the store would persist and what the fingerprint
+// is computed over, so the JSON decode → graph build → re-encode round
+// trip collapses to one hash plus one structural validation. An
+// If-None-Match header carrying a fingerprint the engine already knows
+// short-circuits to 304 before the body is even read — the repeat-ingest
+// dedupe probe costs a header, not an upload.
+func (s *server) handleGraphsBinary(w http.ResponseWriter, r *http.Request) {
+	if inm := strings.Trim(r.Header.Get("If-None-Match"), `"`); inm != "" {
+		fp, err := service.ParseFingerprint(inm)
+		if err != nil {
+			s.httpError(w, http.StatusBadRequest, fmt.Errorf("bad If-None-Match: %w", err))
+			return
+		}
+		if _, known := s.eng.Graph(fp); known {
+			w.Header().Set(wire.HeaderGraph, fp.String())
+			w.Header().Set("ETag", `"`+fp.String()+`"`)
+			w.WriteHeader(http.StatusNotModified)
+			return
+		}
+	}
+	payload, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 64<<20))
+	if err != nil {
+		s.httpError(w, decodeStatus(err), err)
+		return
+	}
+	if len(payload) < 1 {
+		s.httpError(w, http.StatusBadRequest, errors.New("empty graph payload"))
+		return
+	}
+	fp := service.FingerprintBytes(payload[1:])
+	// Decode validates version, structure, and canonical form; a payload
+	// that survives it round-trips to the same bytes, so fp is authentic.
+	g, err := store.DecodeGraphPayload(payload, fp)
+	if err != nil {
+		s.httpError(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	s.eng.AddGraphDecoded(fp, g, payload)
+	if s.cl != nil {
+		s.cl.BroadcastGraph(r.Context(), fp, payload)
+	}
+	s.respondGraph(w, r, fp, g)
+}
+
+// respondGraph acknowledges an ingest in the client's preferred shape. The
+// fingerprint rides in an ETag either way, so any client can turn its next
+// re-ingest into an If-None-Match probe.
+func (s *server) respondGraph(w http.ResponseWriter, r *http.Request, fp service.Fingerprint, g *graph.Graph) {
+	w.Header().Set("ETag", `"`+fp.String()+`"`)
+	if wire.IsBinary(r.Header.Get("Accept")) {
+		w.Header().Set(wire.HeaderGraph, fp.String())
+		w.Header().Set(wire.HeaderNodes, strconv.Itoa(g.NumNodes()))
+		w.Header().Set(wire.HeaderEdges, strconv.Itoa(g.NumEdges()))
+		w.WriteHeader(http.StatusOK)
+		return
+	}
+	s.writeJSON(w, graphResponse{Graph: fp.String(), Nodes: g.NumNodes(), Edges: g.NumEdges()})
 }
 
 // graphFromEdges validates and assembles an explicit edge list; unlike
@@ -282,7 +423,7 @@ func (s *server) handleGraphList(w http.ResponseWriter, r *http.Request) {
 	for i, gi := range infos {
 		out[i] = graphInfo{Graph: gi.Fingerprint.String(), Nodes: gi.Nodes, Edges: gi.Edges}
 	}
-	writeJSON(w, map[string]any{"graphs": out})
+	s.writeJSON(w, map[string]any{"graphs": out})
 }
 
 // handleGraphDelete evicts a graph everywhere: the engine registration,
@@ -292,12 +433,12 @@ func (s *server) handleGraphList(w http.ResponseWriter, r *http.Request) {
 func (s *server) handleGraphDelete(w http.ResponseWriter, r *http.Request) {
 	fp, err := service.ParseFingerprint(r.PathValue("fp"))
 	if err != nil {
-		httpError(w, http.StatusBadRequest, err)
+		s.httpError(w, http.StatusBadRequest, err)
 		return
 	}
 	evicted, err := s.eng.RemoveGraph(fp)
 	if err != nil {
-		httpError(w, statusFor(err), err)
+		s.httpError(w, statusFor(err), err)
 		return
 	}
 	// Evict the partition memos keyed under the deleted fingerprint: left
@@ -314,7 +455,7 @@ func (s *server) handleGraphDelete(w http.ResponseWriter, r *http.Request) {
 		}
 		return true
 	})
-	writeJSON(w, map[string]any{"graph": fp.String(), "evicted_shortcuts": evicted})
+	s.writeJSON(w, map[string]any{"graph": fp.String(), "evicted_shortcuts": evicted})
 }
 
 // shortcutRequest asks for a build-or-get of a shortcut on a registered
@@ -354,6 +495,48 @@ type shortcutResponse struct {
 	CoveredParts int     `json:"covered_parts"`
 }
 
+// resolveParts translates a request's partition description — memoized
+// spec or explicit part list — into a Partition against g. Shared by the
+// JSON and binary shortcut paths; request-shape problems come back as
+// statusError(400).
+func (s *server) resolveParts(g *graph.Graph, fp service.Fingerprint, req shortcutRequest) (*partition.Partition, error) {
+	var parts *partition.Partition
+	var err error
+	switch {
+	case req.Partition != "" && req.Parts != nil:
+		return nil, badRequest(errors.New("give either partition or parts, not both"))
+	case req.Partition != "":
+		pkey := req.Graph + "/" + req.Partition + "/" + strconv.FormatInt(req.Seed, 10)
+		if cached, ok := s.parts.Load(pkey); ok {
+			parts = cached.(*partition.Partition)
+		} else if parts, err = cli.ParsePartition(g, req.Partition, req.Seed); err == nil &&
+			s.partCount.Load() < partMemoLimit {
+			if _, loaded := s.parts.LoadOrStore(pkey, parts); !loaded {
+				s.partCount.Add(1)
+				// Re-check the registration: a DELETE that ran between our
+				// Graph(fp) read and this insert has already swept the
+				// memo, so an entry parsed against the removed
+				// representative would be left behind (and silently reused
+				// on re-ingest). Seeing the graph gone here means the
+				// sweep ran; evicting our own insert closes the window.
+				if _, still := s.eng.Graph(fp); !still {
+					if _, loaded := s.parts.LoadAndDelete(pkey); loaded {
+						s.partCount.Add(-1)
+					}
+				}
+			}
+		}
+	case req.Parts != nil:
+		parts, err = partition.New(g, req.Parts)
+	default:
+		return nil, badRequest(errors.New("need partition spec or parts"))
+	}
+	if err != nil {
+		return nil, badRequest(err)
+	}
+	return parts, nil
+}
+
 // buildShortcut executes one build-or-get request: the path shared by the
 // synchronous POST /v1/shortcuts handler and the async dispatcher.
 // Request-shape problems come back as statusError(400); everything else
@@ -373,37 +556,8 @@ func (s *server) buildShortcut(ctx context.Context, req shortcutRequest) (shortc
 		return zero, badRequest(err)
 	}
 	breq := service.BuildRequest{Graph: fp, Options: opts}
-	switch {
-	case req.Partition != "" && req.Parts != nil:
-		return zero, badRequest(errors.New("give either partition or parts, not both"))
-	case req.Partition != "":
-		pkey := fmt.Sprintf("%s/%s/%d", req.Graph, req.Partition, req.Seed)
-		if cached, ok := s.parts.Load(pkey); ok {
-			breq.Parts = cached.(*partition.Partition)
-		} else if breq.Parts, err = cli.ParsePartition(g, req.Partition, req.Seed); err == nil &&
-			s.partCount.Load() < partMemoLimit {
-			if _, loaded := s.parts.LoadOrStore(pkey, breq.Parts); !loaded {
-				s.partCount.Add(1)
-				// Re-check the registration: a DELETE that ran between our
-				// Graph(fp) read and this insert has already swept the
-				// memo, so an entry parsed against the removed
-				// representative would be left behind (and silently reused
-				// on re-ingest). Seeing the graph gone here means the
-				// sweep ran; evicting our own insert closes the window.
-				if _, still := s.eng.Graph(fp); !still {
-					if _, loaded := s.parts.LoadAndDelete(pkey); loaded {
-						s.partCount.Add(-1)
-					}
-				}
-			}
-		}
-	case req.Parts != nil:
-		breq.Parts, err = partition.New(g, req.Parts)
-	default:
-		return zero, badRequest(errors.New("need partition spec or parts"))
-	}
-	if err != nil {
-		return zero, badRequest(err)
+	if breq.Parts, err = s.resolveParts(g, fp, req); err != nil {
+		return zero, err
 	}
 	// Cluster routing: any node accepts the request, but the key's ring
 	// owner executes it (one singleflight, one build, one persisted record
@@ -425,10 +579,13 @@ func (s *server) buildShortcut(ctx context.Context, req shortcutRequest) (shortc
 	// Quality via the engine so first-touch measurement runs on the
 	// bounded worker pool, not the serving goroutine; memoized, so hits
 	// pay only a cache lookup. Measured on the held entry: re-resolving
-	// c.Key here would race eviction under capacity pressure.
-	q, err := s.eng.MeasureCached(ctx, c)
-	if err != nil {
-		return zero, err
+	// c.Key here would race eviction under capacity pressure. Warm hits
+	// take the lock-free memo read and skip the pool round trip entirely.
+	q, ok := c.QualityIfReady()
+	if !ok {
+		if q, err = s.eng.MeasureCached(ctx, c); err != nil {
+			return zero, err
+		}
 	}
 	source := "cache"
 	if !hit {
@@ -522,8 +679,25 @@ func (s *server) forwardShortcut(ctx context.Context, owner string, fp service.F
 
 func (s *server) handleShortcuts(w http.ResponseWriter, r *http.Request) {
 	var req shortcutRequest
-	if err := decode(w, r, &req); err != nil {
-		httpError(w, decodeStatus(err), err)
+	if wire.IsBinary(r.Header.Get("Content-Type")) {
+		body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 1<<20))
+		if err != nil {
+			s.httpError(w, decodeStatus(err), err)
+			return
+		}
+		breq, err := wire.DecodeShortcutRequest(body)
+		if err != nil {
+			s.httpError(w, http.StatusBadRequest, err)
+			return
+		}
+		req = shortcutRequest{
+			Graph:     breq.Graph.String(),
+			Partition: breq.Partition,
+			Seed:      breq.Seed,
+			Options:   breq.Options,
+		}
+	} else if err := decode(w, r, &req); err != nil {
+		s.httpError(w, decodeStatus(err), err)
 		return
 	}
 	req.Forwarded = r.Header.Get(cluster.ForwardedHeader) != ""
@@ -531,12 +705,151 @@ func (s *server) handleShortcuts(w http.ResponseWriter, r *http.Request) {
 		s.submitAsync(w, jobKindShortcut, req)
 		return
 	}
-	resp, err := s.buildShortcut(r.Context(), req)
-	if err != nil {
-		httpError(w, statusFor(err), err)
+	if wire.IsBinary(r.Header.Get("Accept")) {
+		s.serveShortcutBinary(w, r, req)
 		return
 	}
-	writeJSON(w, resp)
+	resp, err := s.buildShortcut(r.Context(), req)
+	if err != nil {
+		s.httpError(w, statusFor(err), err)
+		return
+	}
+	s.writeJSON(w, resp)
+}
+
+// serveShortcutBinary answers a build-or-get with the canonical shortcut
+// record payload as the body and the envelope metadata in headers. The
+// warm path this enables: request decode is a fixed-layout parse, the
+// quality measurement round trip is skipped (binary responses don't carry
+// quality numbers), and the body is the stored payload — zero-copy off a
+// mapped segment when the daemon runs with -data — instead of a fresh
+// JSON encode.
+func (s *server) serveShortcutBinary(w http.ResponseWriter, r *http.Request, req shortcutRequest) {
+	ctx := r.Context()
+	fp, err := service.ParseFingerprint(req.Graph)
+	if err != nil {
+		s.httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	g, ok := s.eng.Graph(fp)
+	if !ok {
+		s.httpError(w, statusFor(service.ErrUnknownGraph), service.ErrUnknownGraph)
+		return
+	}
+	opts, err := cli.ParseBuildOptions(req.Options)
+	if err != nil {
+		s.httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	parts, err := s.resolveParts(g, fp, req)
+	if err != nil {
+		s.httpError(w, statusFor(err), err)
+		return
+	}
+	// Cluster routing mirrors buildShortcut: the key's ring owner executes,
+	// an unreachable owner degrades to local serving. Spec-form requests
+	// relay over the binary protocol end to end; explicit part lists have
+	// no binary request form, so a misdirected one is served locally (rare
+	// and cold — the duplicate build is bounded by the replica count).
+	if s.cl != nil && !req.Forwarded && req.Partition != "" {
+		key := service.ShortcutKey(fp, parts, opts)
+		if owner, self := s.cl.Owner(key); !self {
+			if s.forwardShortcutBinary(w, r, owner, fp, g, req) {
+				return
+			}
+		}
+	}
+	c, hit, err := s.eng.Build(ctx, service.BuildRequest{Graph: fp, Options: opts, Parts: parts})
+	if err != nil {
+		s.httpError(w, statusFor(err), err)
+		return
+	}
+	source := "cache"
+	if !hit {
+		source = c.Source.String()
+	}
+	annotate(ctx, func(ri *reqInfo) {
+		ri.graph = c.GraphFP.String()
+		ri.shortcut = c.Key.String()
+		ri.source = source
+	})
+	// Body: prefer the stored record payload (zero-copy when mapped);
+	// encode fresh only when the record is not durable — storeless daemon,
+	// or a detached persist that has not landed yet.
+	var payload []byte
+	if s.st != nil {
+		if p, ok, err := s.st.ShortcutPayload(c.Key); err == nil && ok {
+			payload = p
+		}
+	}
+	if payload == nil {
+		payload = store.EncodeShortcutRecordPayload(c.GraphFP, c.Parts, opts, c.Result, c.BuildTime)
+	}
+	h := w.Header()
+	h.Set("Content-Type", wire.ContentType)
+	h.Set(wire.HeaderKey, c.Key.String())
+	h.Set(wire.HeaderGraph, c.GraphFP.String())
+	h.Set(wire.HeaderSource, source)
+	h.Set(wire.HeaderBuildNs, strconv.FormatInt(c.BuildTime.Nanoseconds(), 10))
+	if s.cl != nil {
+		h.Set(wire.HeaderServedBy, s.cl.Self())
+	}
+	h.Set("Content-Length", strconv.Itoa(len(payload)))
+	if _, err := w.Write(payload); err != nil {
+		s.encodeFailed(err)
+	}
+}
+
+// forwardShortcutBinary relays a binary shortcut request to the key's
+// owner and copies its answer — status, metadata headers, payload body —
+// through verbatim. Returns false when the owner is unreachable, in which
+// case the caller serves locally (same degraded path as forwardShortcut);
+// a reachable owner's answer is final. A 404 (owner missed the graph
+// broadcast) gets the graph pushed and one retry.
+func (s *server) forwardShortcutBinary(w http.ResponseWriter, r *http.Request, owner string,
+	fp service.Fingerprint, g *graph.Graph, req shortcutRequest) bool {
+	if !s.cl.Available(owner) {
+		return false
+	}
+	ctx := r.Context()
+	body := wire.AppendShortcutRequest(nil, wire.ShortcutRequest{
+		Graph: fp, Partition: req.Partition, Seed: req.Seed, Options: req.Options,
+	})
+	for attempt := 0; ; attempt++ {
+		status, hdr, respBody, err := s.cl.ForwardRequestBinary(ctx, owner, "/v1/shortcuts", body)
+		if err != nil {
+			if s.logger != nil {
+				s.logger.Warn("forward_failed", "owner", owner, "err", err.Error())
+			}
+			return false
+		}
+		if status == http.StatusNotFound && attempt == 0 {
+			// The owner does not know the graph: push our copy and retry.
+			if err := s.cl.PushGraph(ctx, owner, fp, store.EncodeGraphPayload(g)); err != nil {
+				return false
+			}
+			continue
+		}
+		for _, k := range []string{"Content-Type", wire.HeaderKey, wire.HeaderGraph,
+			wire.HeaderServedBy, wire.HeaderBuildNs} {
+			if v := hdr.Get(k); v != "" {
+				w.Header().Set(k, v)
+			}
+		}
+		if src := hdr.Get(wire.HeaderSource); src != "" {
+			w.Header().Set(wire.HeaderSource, "forward:"+src)
+			annotate(ctx, func(ri *reqInfo) {
+				ri.graph = hdr.Get(wire.HeaderGraph)
+				ri.shortcut = hdr.Get(wire.HeaderKey)
+				ri.source = "forward:" + src
+			})
+		}
+		w.WriteHeader(status)
+		if _, err := w.Write(respBody); err != nil {
+			s.encodeFailed(err)
+		}
+		return true
+	}
 }
 
 // jobRequest runs a query job. Kind selects the algorithm; graph-level
@@ -700,14 +1013,14 @@ func (s *server) runJob(ctx context.Context, req jobRequest) (map[string]any, er
 func (s *server) handleJobs(w http.ResponseWriter, r *http.Request) {
 	var req jobRequest
 	if err := decode(w, r, &req); err != nil {
-		httpError(w, decodeStatus(err), err)
+		s.httpError(w, decodeStatus(err), err)
 		return
 	}
 	if req.Async {
 		// Reject unknown kinds before accepting: a 202 for a job that can
 		// only ever fail helps nobody.
 		if !validJobKind(req.Kind) {
-			httpError(w, http.StatusBadRequest,
+			s.httpError(w, http.StatusBadRequest,
 				fmt.Errorf("unknown job kind %q (want mst, mincut, aggregate, or measure)", req.Kind))
 			return
 		}
@@ -716,10 +1029,10 @@ func (s *server) handleJobs(w http.ResponseWriter, r *http.Request) {
 	}
 	out, err := s.runJob(r.Context(), req)
 	if err != nil {
-		httpError(w, statusFor(err), err)
+		s.httpError(w, statusFor(err), err)
 		return
 	}
-	writeJSON(w, out)
+	s.writeJSON(w, out)
 }
 
 // execAsync is the jobs.Executor: it re-decodes the persisted request body
@@ -766,17 +1079,15 @@ func asyncStatus(err error) int {
 func (s *server) submitAsync(w http.ResponseWriter, kind string, req any) {
 	payload, err := json.Marshal(req)
 	if err != nil {
-		httpError(w, http.StatusInternalServerError, err)
+		s.httpError(w, http.StatusInternalServerError, err)
 		return
 	}
 	rec, err := s.mgr.Submit(kind, payload)
 	if err != nil {
-		httpError(w, asyncStatus(err), err)
+		s.httpError(w, asyncStatus(err), err)
 		return
 	}
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(http.StatusAccepted)
-	json.NewEncoder(w).Encode(jobView(rec, false))
+	s.writeJSONStatus(w, http.StatusAccepted, jobView(rec, false))
 }
 
 // jobViewJSON is the wire form of a job record. Result is included only
@@ -833,15 +1144,15 @@ const maxBatchItems = 4096
 func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	var req batchRequest
 	if err := decode(w, r, &req); err != nil {
-		httpError(w, decodeStatus(err), err)
+		s.httpError(w, decodeStatus(err), err)
 		return
 	}
 	if len(req.Requests) == 0 {
-		httpError(w, http.StatusBadRequest, errors.New("empty batch: need requests"))
+		s.httpError(w, http.StatusBadRequest, errors.New("empty batch: need requests"))
 		return
 	}
 	if len(req.Requests) > maxBatchItems {
-		httpError(w, http.StatusBadRequest,
+		s.httpError(w, http.StatusBadRequest,
 			fmt.Errorf("batch of %d requests exceeds the %d-item limit", len(req.Requests), maxBatchItems))
 		return
 	}
@@ -856,7 +1167,7 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		if probe.Kind == "" {
 			var sr shortcutRequest
 			if err := strictUnmarshal(raw, &sr); err != nil {
-				httpError(w, http.StatusBadRequest, fmt.Errorf("request %d: %w", i, err))
+				s.httpError(w, http.StatusBadRequest, fmt.Errorf("request %d: %w", i, err))
 				return
 			}
 			kinds[i] = jobKindShortcut
@@ -864,11 +1175,11 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		}
 		var jr jobRequest
 		if err := strictUnmarshal(raw, &jr); err != nil {
-			httpError(w, http.StatusBadRequest, fmt.Errorf("request %d: %w", i, err))
+			s.httpError(w, http.StatusBadRequest, fmt.Errorf("request %d: %w", i, err))
 			return
 		}
 		if !validJobKind(jr.Kind) {
-			httpError(w, http.StatusBadRequest,
+			s.httpError(w, http.StatusBadRequest,
 				fmt.Errorf("request %d: unknown job kind %q", i, jr.Kind))
 			return
 		}
@@ -880,9 +1191,7 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	for i, raw := range req.Requests {
 		rec, err := s.mgr.Submit(kinds[i], raw)
 		if err != nil {
-			w.Header().Set("Content-Type", "application/json")
-			w.WriteHeader(asyncStatus(err))
-			json.NewEncoder(w).Encode(map[string]any{
+			s.writeJSONStatus(w, asyncStatus(err), map[string]any{
 				"error": fmt.Sprintf("request %d: %v (%d accepted)", i, err, len(accepted)),
 				"jobs":  accepted,
 			})
@@ -890,9 +1199,7 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		}
 		accepted = append(accepted, jobView(rec, false))
 	}
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(http.StatusAccepted)
-	json.NewEncoder(w).Encode(map[string]any{"jobs": accepted})
+	s.writeJSONStatus(w, http.StatusAccepted, map[string]any{"jobs": accepted})
 }
 
 // maxJobWait caps the GET /v1/jobs/{id} long-poll; clients with longer
@@ -902,18 +1209,18 @@ const maxJobWait = 5 * time.Minute
 func (s *server) handleJobGet(w http.ResponseWriter, r *http.Request) {
 	id, err := jobs.ParseID(r.PathValue("id"))
 	if err != nil {
-		httpError(w, http.StatusBadRequest, err)
+		s.httpError(w, http.StatusBadRequest, err)
 		return
 	}
 	rec, ok := s.mgr.Get(id)
 	if !ok {
-		httpError(w, http.StatusNotFound, jobs.ErrUnknownJob)
+		s.httpError(w, http.StatusNotFound, jobs.ErrUnknownJob)
 		return
 	}
 	if ws := r.URL.Query().Get("wait"); ws != "" && !rec.State.Terminal() {
 		wait, err := time.ParseDuration(ws)
 		if err != nil {
-			httpError(w, http.StatusBadRequest, fmt.Errorf("bad wait %q: %w", ws, err))
+			s.httpError(w, http.StatusBadRequest, fmt.Errorf("bad wait %q: %w", ws, err))
 			return
 		}
 		if wait > maxJobWait {
@@ -925,7 +1232,7 @@ func (s *server) handleJobGet(w http.ResponseWriter, r *http.Request) {
 			cancel()
 		}
 	}
-	writeJSON(w, jobView(rec, true))
+	s.writeJSON(w, jobView(rec, true))
 }
 
 func (s *server) handleJobList(w http.ResponseWriter, r *http.Request) {
@@ -933,7 +1240,7 @@ func (s *server) handleJobList(w http.ResponseWriter, r *http.Request) {
 	if fs := r.URL.Query().Get("state"); fs != "" {
 		st, err := jobs.ParseState(fs)
 		if err != nil {
-			httpError(w, http.StatusBadRequest, err)
+			s.httpError(w, http.StatusBadRequest, err)
 			return
 		}
 		filter = &st
@@ -946,26 +1253,26 @@ func (s *server) handleJobList(w http.ResponseWriter, r *http.Request) {
 		}
 		out = append(out, jobView(rec, false))
 	}
-	writeJSON(w, map[string]any{"jobs": out})
+	s.writeJSON(w, map[string]any{"jobs": out})
 }
 
 func (s *server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
 	id, err := jobs.ParseID(r.PathValue("id"))
 	if err != nil {
-		httpError(w, http.StatusBadRequest, err)
+		s.httpError(w, http.StatusBadRequest, err)
 		return
 	}
 	rec, err := s.mgr.Cancel(id)
 	switch {
 	case errors.Is(err, jobs.ErrUnknownJob):
-		httpError(w, http.StatusNotFound, err)
+		s.httpError(w, http.StatusNotFound, err)
 	case errors.Is(err, jobs.ErrFinished):
-		httpError(w, http.StatusConflict,
+		s.httpError(w, http.StatusConflict,
 			fmt.Errorf("job %s already %s", id, rec.State))
 	case err != nil:
-		httpError(w, http.StatusInternalServerError, err)
+		s.httpError(w, http.StatusInternalServerError, err)
 	default:
-		writeJSON(w, jobView(rec, false))
+		s.writeJSON(w, jobView(rec, false))
 	}
 }
 
@@ -1007,7 +1314,7 @@ func (s *server) snapshotStats() service.Stats {
 
 func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 	st := s.snapshotStats()
-	writeJSON(w, map[string]any{
+	s.writeJSON(w, map[string]any{
 		"stats":          st,
 		"hit_rate":       st.HitRate(),
 		"uptime_seconds": time.Since(s.start).Seconds(),

@@ -18,6 +18,7 @@ import (
 	"locshort/internal/service"
 	"locshort/internal/shortcut"
 	"locshort/internal/store"
+	"locshort/internal/wire"
 )
 
 // Config wires a Cluster. Self and Nodes are required (Self must appear in
@@ -84,7 +85,16 @@ func (c Config) withDefaults() Config {
 		c.DownBackoff = 2 * time.Second
 	}
 	if c.Client == nil {
-		c.Client = &http.Client{}
+		// Peer traffic is many small requests to a handful of fixed
+		// addresses; the stock Transport's two idle connections per host
+		// forces re-dials under concurrency. Keep a generous idle pool so
+		// forwards, fetches, and anti-entropy rounds ride persistent
+		// connections.
+		c.Client = &http.Client{Transport: &http.Transport{
+			MaxIdleConns:        256,
+			MaxIdleConnsPerHost: 64,
+			IdleConnTimeout:     90 * time.Second,
+		}}
 	}
 	return c
 }
@@ -94,6 +104,14 @@ func (c Config) withDefaults() Config {
 // *service.Engine implements it.
 type GraphRegistrar interface {
 	AddGraph(g *graph.Graph) (service.Fingerprint, error)
+}
+
+// GraphPayloadRegistrar is the optional fast path of GraphRegistrar: a
+// registrar that can take the already-decoded graph together with the
+// canonical payload bytes it came from, skipping the re-fingerprint and
+// re-encode AddGraph would pay. *service.Engine implements it.
+type GraphPayloadRegistrar interface {
+	AddGraphDecoded(fp service.Fingerprint, g *graph.Graph, payload []byte)
 }
 
 // Cluster is one node's view of a static-membership locshortd cluster: the
@@ -428,18 +446,68 @@ func (c *Cluster) InventoryOf(ctx context.Context, peer string) (Inventory, erro
 	return inv, err
 }
 
-// recordOf fetches one shortcut record from a peer. found is false on a
-// clean 404.
+// getBinary GETs http://<peer><path> asking for the binary protocol and
+// returns the raw body when the peer answered in it. A peer that answers
+// JSON instead (binary=false) is handled by the caller's JSON path, so the
+// client interoperates with nodes that have not negotiated binary — the
+// fetch just costs the base64 round trip it always did. Transport failures
+// mark the peer down; any answer marks it up.
+func (c *Cluster) getBinary(ctx context.Context, peer, path string) (body []byte, binary bool, err error) {
+	ctx, cancel := context.WithTimeout(ctx, c.cfg.FetchTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, "http://"+peer+path, nil)
+	if err != nil {
+		return nil, false, err
+	}
+	req.Header.Set("Accept", wire.ContentType)
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		c.markDown(peer)
+		return nil, false, fmt.Errorf("cluster: peer %s unreachable: %w", peer, err)
+	}
+	defer resp.Body.Close()
+	c.markUp(peer)
+	if resp.StatusCode == http.StatusNotFound {
+		io.Copy(io.Discard, resp.Body)
+		return nil, false, errNotFound
+	}
+	if resp.StatusCode != http.StatusOK {
+		b, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return nil, false, fmt.Errorf("cluster: peer %s %s: %s: %s", peer, path, resp.Status, bytes.TrimSpace(b))
+	}
+	if !wire.IsBinary(resp.Header.Get("Content-Type")) {
+		// The peer declined binary; hand the JSON body back for the
+		// caller's decoder.
+		b, err := io.ReadAll(io.LimitReader(resp.Body, 256<<20))
+		return b, false, err
+	}
+	b, err := io.ReadAll(io.LimitReader(resp.Body, 256<<20))
+	if err != nil {
+		return nil, false, err
+	}
+	return b, true, nil
+}
+
+// recordOf fetches one shortcut record from a peer over the binary
+// protocol (JSON fallback when the peer answers in it). found is false on
+// a clean 404.
 func (c *Cluster) recordOf(ctx context.Context, peer string, key service.Fingerprint) (store.PeerRecord, bool, error) {
-	var wire Record
-	err := c.getJSON(ctx, peer, "/v1/peer/records/"+key.String(), &wire)
+	body, binary, err := c.getBinary(ctx, peer, "/v1/peer/records/"+key.String())
 	if err == errNotFound {
 		return store.PeerRecord{}, false, nil
 	}
 	if err != nil {
 		return store.PeerRecord{}, false, err
 	}
-	rec, err := toPeerRecord(wire)
+	var rec store.PeerRecord
+	if binary {
+		rec, err = store.DecodePeerRecord(body)
+	} else {
+		var wr Record
+		if err = json.Unmarshal(body, &wr); err == nil {
+			rec, err = toPeerRecord(wr)
+		}
+	}
 	if err != nil {
 		return store.PeerRecord{}, false, err
 	}
@@ -449,33 +517,37 @@ func (c *Cluster) recordOf(ctx context.Context, peer string, key service.Fingerp
 	return rec, true, nil
 }
 
-// graphPayloadOf fetches one graph record payload from a peer.
+// graphPayloadOf fetches one graph record payload from a peer over the
+// binary protocol (JSON fallback).
 func (c *Cluster) graphPayloadOf(ctx context.Context, peer string, fp service.Fingerprint) ([]byte, bool, error) {
-	var wire GraphPayload
-	err := c.getJSON(ctx, peer, "/v1/peer/graphs/"+fp.String(), &wire)
+	body, binary, err := c.getBinary(ctx, peer, "/v1/peer/graphs/"+fp.String())
 	if err == errNotFound {
 		return nil, false, nil
 	}
 	if err != nil {
 		return nil, false, err
 	}
-	return wire.Payload, true, nil
+	if binary {
+		return body, true, nil
+	}
+	var wr GraphPayload
+	if err := json.Unmarshal(body, &wr); err != nil {
+		return nil, false, err
+	}
+	return wr.Payload, true, nil
 }
 
-// PushGraph PUTs a graph record payload to one peer.
+// PushGraph PUTs a graph record payload to one peer, raw over the binary
+// protocol — no base64 envelope, no decode on our side.
 func (c *Cluster) PushGraph(ctx context.Context, peer string, fp service.Fingerprint, payload []byte) error {
 	ctx, cancel := context.WithTimeout(ctx, c.cfg.FetchTimeout)
 	defer cancel()
-	body, err := json.Marshal(GraphPayload{Payload: payload})
-	if err != nil {
-		return err
-	}
 	req, err := http.NewRequestWithContext(ctx, http.MethodPut,
-		"http://"+peer+"/v1/peer/graphs/"+fp.String(), bytes.NewReader(body))
+		"http://"+peer+"/v1/peer/graphs/"+fp.String(), bytes.NewReader(payload))
 	if err != nil {
 		return err
 	}
-	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("Content-Type", wire.ContentType)
 	resp, err := c.hc.Do(req)
 	if err != nil {
 		c.markDown(peer)
@@ -518,21 +590,38 @@ func (c *Cluster) BroadcastGraph(ctx context.Context, fp service.Fingerprint, pa
 	wg.Wait()
 }
 
-// ForwardRequest relays a request body to the owner node's public API and
-// returns the response. err is non-nil only for transport failures (the
+// ForwardRequest relays a JSON request body to the owner node's public API
+// and returns the response. err is non-nil only for transport failures (the
 // owner is down — the caller falls back to serving locally); an HTTP error
 // status from the owner comes back as (status, body, nil) for the caller to
 // interpret. The X-Locshort-Forwarded header stops the owner from
 // forwarding again.
 func (c *Cluster) ForwardRequest(ctx context.Context, owner, path string, body []byte) (int, []byte, error) {
+	status, _, respBody, err := c.forward(ctx, owner, path, body, "application/json", "")
+	return status, respBody, err
+}
+
+// ForwardRequestBinary is ForwardRequest over the binary protocol: the
+// body is a binary request, the Accept header asks for a binary response,
+// and the owner's response headers come back so the relay can copy the
+// metadata headers (key, source, build cost) through to the client.
+func (c *Cluster) ForwardRequestBinary(ctx context.Context, owner, path string, body []byte) (int, http.Header, []byte, error) {
+	return c.forward(ctx, owner, path, body, wire.ContentType, wire.ContentType)
+}
+
+func (c *Cluster) forward(ctx context.Context, owner, path string, body []byte,
+	contentType, accept string) (int, http.Header, []byte, error) {
 	start := time.Now()
 	ctx, cancel := context.WithTimeout(ctx, c.cfg.ForwardTimeout)
 	defer cancel()
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, "http://"+owner+path, bytes.NewReader(body))
 	if err != nil {
-		return 0, nil, err
+		return 0, nil, nil, err
 	}
-	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("Content-Type", contentType)
+	if accept != "" {
+		req.Header.Set("Accept", accept)
+	}
 	req.Header.Set(ForwardedHeader, "1")
 	resp, err := c.hc.Do(req)
 	d := time.Since(start)
@@ -542,20 +631,20 @@ func (c *Cluster) ForwardRequest(ctx context.Context, owner, path string, body [
 		if c.metrics != nil {
 			c.metrics.forwardSeconds.Observe(d)
 		}
-		return 0, nil, fmt.Errorf("cluster: owner %s unreachable: %w", owner, err)
+		return 0, nil, nil, fmt.Errorf("cluster: owner %s unreachable: %w", owner, err)
 	}
 	defer resp.Body.Close()
 	c.markUp(owner)
 	respBody, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
 	if err != nil {
 		c.forwardErrs.Add(1)
-		return 0, nil, err
+		return 0, nil, nil, err
 	}
 	c.forwards.Add(1)
 	if c.metrics != nil {
 		c.metrics.forwardSeconds.Observe(d)
 	}
-	return resp.StatusCode, respBody, nil
+	return resp.StatusCode, resp.Header, respBody, nil
 }
 
 // ForwardedHeader marks a relayed request so the owner serves it locally
@@ -649,20 +738,25 @@ func (c *Cluster) Handler() http.Handler {
 	return mux
 }
 
-func peerJSON(w http.ResponseWriter, v any) {
+func (c *Cluster) peerJSON(w http.ResponseWriter, v any) {
 	w.Header().Set("Content-Type", "application/json")
-	json.NewEncoder(w).Encode(v)
+	if err := json.NewEncoder(w).Encode(v); err != nil && c.log != nil {
+		// Headers are gone; log so a flaky peer link is diagnosable.
+		c.log.Warn("cluster_encode_failed", "err", err.Error())
+	}
 }
 
-func peerError(w http.ResponseWriter, code int, err error) {
+func (c *Cluster) peerError(w http.ResponseWriter, code int, err error) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
-	json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+	if eerr := json.NewEncoder(w).Encode(map[string]string{"error": err.Error()}); eerr != nil && c.log != nil {
+		c.log.Warn("cluster_encode_failed", "err", eerr.Error())
+	}
 }
 
 func (c *Cluster) handleRing(w http.ResponseWriter, r *http.Request) {
 	ss := c.st.OpenStats()
-	peerJSON(w, RingInfo{
+	c.peerJSON(w, RingInfo{
 		Self:        c.self,
 		Nodes:       c.ring.Nodes(),
 		VNodes:      c.cfg.VNodes,
@@ -678,7 +772,7 @@ func (c *Cluster) handleInventory(w http.ResponseWriter, r *http.Request) {
 	if ls := r.URL.Query().Get("lo"); ls != "" {
 		v, err := strconv.ParseUint(ls, 16, 64)
 		if err != nil {
-			peerError(w, http.StatusBadRequest, fmt.Errorf("bad lo %q: %w", ls, err))
+			c.peerError(w, http.StatusBadRequest, fmt.Errorf("bad lo %q: %w", ls, err))
 			return
 		}
 		lo = v
@@ -686,7 +780,7 @@ func (c *Cluster) handleInventory(w http.ResponseWriter, r *http.Request) {
 	if hs := r.URL.Query().Get("hi"); hs != "" {
 		v, err := strconv.ParseUint(hs, 16, 64)
 		if err != nil {
-			peerError(w, http.StatusBadRequest, fmt.Errorf("bad hi %q: %w", hs, err))
+			c.peerError(w, http.StatusBadRequest, fmt.Errorf("bad hi %q: %w", hs, err))
 			return
 		}
 		hi = v
@@ -701,76 +795,109 @@ func (c *Cluster) handleInventory(w http.ResponseWriter, r *http.Request) {
 	for _, fp := range c.st.GraphFingerprints() {
 		inv.Graphs = append(inv.Graphs, fp.String())
 	}
-	peerJSON(w, inv)
+	c.peerJSON(w, inv)
 }
 
 func (c *Cluster) handleRecord(w http.ResponseWriter, r *http.Request) {
 	key, err := service.ParseFingerprint(r.PathValue("key"))
 	if err != nil {
-		peerError(w, http.StatusBadRequest, err)
+		c.peerError(w, http.StatusBadRequest, err)
 		return
 	}
 	rec, ok, err := c.st.ShortcutRecord(key)
 	if err != nil {
-		peerError(w, http.StatusInternalServerError, err)
+		c.peerError(w, http.StatusInternalServerError, err)
 		return
 	}
 	if !ok {
-		peerError(w, http.StatusNotFound, fmt.Errorf("no record for %s", key))
+		c.peerError(w, http.StatusNotFound, fmt.Errorf("no record for %s", key))
 		return
 	}
-	peerJSON(w, fromPeerRecord(rec))
+	if wire.IsBinary(r.Header.Get("Accept")) {
+		w.Header().Set("Content-Type", wire.ContentType)
+		if _, err := w.Write(store.AppendPeerRecord(nil, rec)); err != nil && c.log != nil {
+			c.log.Warn("cluster_encode_failed", "err", err.Error())
+		}
+		return
+	}
+	c.peerJSON(w, fromPeerRecord(rec))
 }
 
 func (c *Cluster) handleGraphGet(w http.ResponseWriter, r *http.Request) {
 	fp, err := service.ParseFingerprint(r.PathValue("fp"))
 	if err != nil {
-		peerError(w, http.StatusBadRequest, err)
+		c.peerError(w, http.StatusBadRequest, err)
 		return
 	}
 	payload, ok, err := c.st.GraphPayload(fp)
 	if err != nil {
-		peerError(w, http.StatusInternalServerError, err)
+		c.peerError(w, http.StatusInternalServerError, err)
 		return
 	}
 	if !ok {
-		peerError(w, http.StatusNotFound, fmt.Errorf("no graph record for %s", fp))
+		c.peerError(w, http.StatusNotFound, fmt.Errorf("no graph record for %s", fp))
 		return
 	}
-	peerJSON(w, GraphPayload{Payload: payload})
+	if wire.IsBinary(r.Header.Get("Accept")) {
+		w.Header().Set("Content-Type", wire.ContentType)
+		if _, err := w.Write(payload); err != nil && c.log != nil {
+			c.log.Warn("cluster_encode_failed", "err", err.Error())
+		}
+		return
+	}
+	c.peerJSON(w, GraphPayload{Payload: payload})
 }
 
 func (c *Cluster) handleGraphPut(w http.ResponseWriter, r *http.Request) {
 	fp, err := service.ParseFingerprint(r.PathValue("fp"))
 	if err != nil {
-		peerError(w, http.StatusBadRequest, err)
+		c.peerError(w, http.StatusBadRequest, err)
 		return
 	}
-	var wire GraphPayload
-	if err := json.NewDecoder(io.LimitReader(r.Body, 256<<20)).Decode(&wire); err != nil {
-		peerError(w, http.StatusBadRequest, err)
-		return
+	var payload []byte
+	if wire.IsBinary(r.Header.Get("Content-Type")) {
+		payload, err = io.ReadAll(io.LimitReader(r.Body, 256<<20))
+		if err != nil {
+			c.peerError(w, http.StatusBadRequest, err)
+			return
+		}
+	} else {
+		var wr GraphPayload
+		if err := json.NewDecoder(io.LimitReader(r.Body, 256<<20)).Decode(&wr); err != nil {
+			c.peerError(w, http.StatusBadRequest, err)
+			return
+		}
+		payload = wr.Payload
 	}
 	// Decode verifies the payload hashes to fp — a peer cannot plant a
 	// graph under a fingerprint it does not own.
-	g, err := store.DecodeGraphPayload(wire.Payload, fp)
+	g, err := store.DecodeGraphPayload(payload, fp)
 	if err != nil {
-		peerError(w, http.StatusUnprocessableEntity, err)
+		c.peerError(w, http.StatusUnprocessableEntity, err)
 		return
 	}
-	if err := c.registerGraph(fp, g); err != nil {
-		peerError(w, http.StatusInternalServerError, err)
+	if err := c.registerGraph(fp, g, payload); err != nil {
+		c.peerError(w, http.StatusInternalServerError, err)
 		return
 	}
-	peerJSON(w, map[string]string{"graph": fp.String()})
+	c.peerJSON(w, map[string]string{"graph": fp.String()})
 }
 
 // registerGraph installs a verified graph: through the engine when wired
-// (which also persists it), else straight into the store.
-func (c *Cluster) registerGraph(fp service.Fingerprint, g *graph.Graph) error {
+// (which also persists it), else straight into the store. Payload is the
+// canonical bytes g decoded from; carrying it through lets the engine and
+// store persist it verbatim instead of paying a re-encode.
+func (c *Cluster) registerGraph(fp service.Fingerprint, g *graph.Graph, payload []byte) error {
 	if reg := c.getRegistrar(); reg != nil {
+		if pr, ok := reg.(GraphPayloadRegistrar); ok && len(payload) > 0 {
+			pr.AddGraphDecoded(fp, g, payload)
+			return nil
+		}
 		_, err := reg.AddGraph(g)
 		return err
+	}
+	if len(payload) > 0 {
+		return c.st.PutGraphPayload(fp, payload)
 	}
 	return c.st.PutGraph(fp, g)
 }

@@ -182,7 +182,8 @@ func TestFetchShortcutRejectsTamperedRecord(t *testing.T) {
 			return
 		}
 		wire.ShortcutPayload[len(wire.ShortcutPayload)/2] ^= 0x01
-		peerJSON(w, wire)
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(wire)
 	}))
 
 	_, _, ok, err := nodes[1].cl.FetchShortcut(context.Background(), key, g, p)

@@ -129,7 +129,7 @@ func (c *Cluster) pullGraph(ctx context.Context, peer string, fp service.Fingerp
 		}
 		return false
 	}
-	if err := c.registerGraph(fp, g); err != nil {
+	if err := c.registerGraph(fp, g, payload); err != nil {
 		return false
 	}
 	c.syncPulls.Add(1)

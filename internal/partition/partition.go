@@ -3,6 +3,7 @@ package partition
 import (
 	"fmt"
 	"math/rand"
+	"sync/atomic"
 
 	"locshort/internal/graph"
 )
@@ -20,6 +21,27 @@ type Partition struct {
 	labelIdx []int
 	seen     []bool
 	queue    []int
+
+	// canon memoizes a caller-computed canonical byte encoding of the
+	// partition (see CanonMemo). FromLabelsInto invalidates it when it
+	// rebuilds the receiver in place.
+	canon atomic.Pointer[[]byte]
+}
+
+// CanonMemo returns the partition's cached canonical encoding, computing
+// it with f on first use. The encoding format belongs to the caller (the
+// service layer's content addressing); it lives here because a published
+// partition is immutable, so the bytes are computed once instead of per
+// request. f must be a pure function of Parts/PartOf; concurrent first
+// calls may both run f (same bytes, either store wins). Treat the returned
+// slice as read-only.
+func (p *Partition) CanonMemo(f func() []byte) []byte {
+	if b := p.canon.Load(); b != nil {
+		return *b
+	}
+	b := f()
+	p.canon.Store(&b)
+	return b
 }
 
 // New validates that the given parts are node-disjoint, within range, and
@@ -143,6 +165,7 @@ func FromLabelsInto(p *Partition, g *graph.Graph, label []int) (*Partition, erro
 	if p == nil {
 		p = &Partition{}
 	}
+	p.canon.Store(nil) // the rebuild invalidates any memoized encoding
 	n := g.NumNodes()
 	if len(label) != n {
 		return nil, fmt.Errorf("partition: label length %d, want %d", len(label), n)

@@ -7,6 +7,7 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"locshort/internal/dist"
@@ -128,6 +129,7 @@ type Cached struct {
 	Source BuildSource
 
 	qualityOnce sync.Once
+	qualityDone atomic.Bool
 	quality     shortcut.Quality
 	routingOnce sync.Once
 	routing     *dist.PARouting
@@ -157,8 +159,22 @@ func (c *Cached) Quality() shortcut.Quality {
 			c.tracer.Publish(c.trace.Finish())
 			c.trace = nil
 		}
+		c.qualityDone.Store(true)
 	})
 	return c.quality
+}
+
+// QualityIfReady returns the memoized quality without blocking or
+// scheduling anything: ok is false until some earlier call has measured
+// the entry. The serving path uses it to skip the worker-pool round trip
+// on warm hits — once measured, the quality is one atomic load away. The
+// quality field is written before the qualityDone store inside the same
+// Once, so an observer of true observes the value.
+func (c *Cached) QualityIfReady() (shortcut.Quality, bool) {
+	if !c.qualityDone.Load() {
+		return shortcut.Quality{}, false
+	}
+	return c.quality, true
 }
 
 // Routing installs (once) and returns the part-wise aggregation routing.
@@ -275,6 +291,36 @@ func (e *Engine) AddGraph(g *graph.Graph) (Fingerprint, error) {
 		}
 	}
 	return fp, nil
+}
+
+// AddGraphDecoded registers a graph that arrived in canonical binary form,
+// skipping the validation and fingerprinting AddGraph pays: g must be the
+// decode of payload and fp the fingerprint of its body, which is exactly
+// what store.DecodeGraphPayload establishes (structural validation plus
+// the content-hash check). The canonical payload is persisted verbatim
+// when the store supports it (GraphPayloadStore), so binary ingest never
+// re-encodes what it just decoded; other stores fall back to PutGraph.
+// Registration semantics match AddGraph: first registration wins, known
+// content is a cheap no-op, persistence failures surface in
+// Stats.StoreErrors rather than to the caller.
+func (e *Engine) AddGraphDecoded(fp Fingerprint, g *graph.Graph, payload []byte) {
+	e.mu.Lock()
+	_, known := e.graphs[fp]
+	if !known {
+		e.graphs[fp] = g
+	}
+	e.mu.Unlock()
+	if st := e.cfg.Store; st != nil && !known {
+		var err error
+		if ps, ok := st.(GraphPayloadStore); ok {
+			err = ps.PutGraphPayload(fp, payload)
+		} else {
+			err = st.PutGraph(fp, g)
+		}
+		if err != nil {
+			e.counters.storeErrs.Add(1)
+		}
+	}
 }
 
 // WarmStart re-registers every graph persisted in the configured store and

@@ -86,10 +86,17 @@ func AppendPartitionCanonical(b []byte, p *partition.Partition) []byte {
 	return b
 }
 
+// partitionCanonical returns p's canonical encoding through the memo a
+// published partition carries: the relabeling pass runs once per
+// partition, not once per request. Treat the result as read-only.
+func partitionCanonical(p *partition.Partition) []byte {
+	return p.CanonMemo(func() []byte { return AppendPartitionCanonical(nil, p) })
+}
+
 // FingerprintPartition fingerprints a partition's canonical part
 // assignment.
 func FingerprintPartition(p *partition.Partition) Fingerprint {
-	return hashBytes(AppendPartitionCanonical(nil, p))
+	return hashBytes(partitionCanonical(p))
 }
 
 // appendOptionsCanonical encodes the shortcut.Options fields that determine
@@ -108,8 +115,10 @@ func appendOptionsCanonical(b []byte, o shortcut.Options) []byte {
 // build options. Up to hash collisions (see Fingerprint), two requests
 // share a key exactly when Build would produce the same shortcut for both.
 func ShortcutKey(g Fingerprint, p *partition.Partition, o shortcut.Options) Fingerprint {
-	b := binary.BigEndian.AppendUint64(nil, uint64(g))
-	b = AppendPartitionCanonical(b, p)
+	canon := partitionCanonical(p)
+	b := make([]byte, 0, 8+len(canon)+5*8)
+	b = binary.BigEndian.AppendUint64(b, uint64(g))
+	b = append(b, canon...)
 	b = appendOptionsCanonical(b, o)
 	return hashBytes(b)
 }

@@ -48,6 +48,19 @@ type Store interface {
 	DeleteGraph(fp Fingerprint) error
 }
 
+// GraphPayloadStore is the optional store capability the binary ingest
+// path exploits: persisting an already-encoded canonical graph payload
+// verbatim, skipping the re-encode PutGraph would pay. It is deliberately
+// not part of Store — existing implementations and test stubs keep
+// compiling, and Engine.AddGraphDecoded falls back to PutGraph when the
+// assertion fails. *store.Store implements it.
+type GraphPayloadStore interface {
+	// PutGraphPayload persists a canonical graph payload under fp. The
+	// implementation must verify the payload hashes to fp before writing;
+	// known content must be a cheap no-op.
+	PutGraphPayload(fp Fingerprint, payload []byte) error
+}
+
 // PeerFetcher is the cluster-mode extension of the miss chain
 // (Config.Peers): after the local cache and local store both miss, the
 // engine asks the fetcher for the record before paying a cold construction.

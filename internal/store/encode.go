@@ -43,6 +43,16 @@ const (
 // allocation is sized from them, so a corrupt length cannot OOM the opener.
 const maxReasonableCount = 1 << 40
 
+// maxGraphNodes bounds the node count of a decoded graph payload. Unlike
+// the edge count — which the payload length pins down exactly — the node
+// count is a bare header field that sizes graph.New's allocations, and
+// since the binary ingest path feeds decodeGraph straight from the network
+// a loose bound is an amplification lever: a 20-byte payload claiming 2^38
+// nodes would OOM the daemon before edge validation sees a single byte.
+// 2^26 nodes is far beyond what the 64 MiB request body cap admits for any
+// connected graph (n <= edges+1 ~ 2.8M) while staying a bounded allocation.
+const maxGraphNodes = 1 << 26
+
 // edgePerm is the bijection between a graph's live edge IDs and canonical
 // edge order (the sort order of graph.AppendCanonical, ties broken by live
 // ID — any tie order is equivalent because tied edges are identical).
@@ -130,7 +140,7 @@ func decodeGraph(payload []byte, key service.Fingerprint) (*graph.Graph, error) 
 	}
 	n := binary.BigEndian.Uint64(body)
 	m := binary.BigEndian.Uint64(body[8:])
-	if n > maxReasonableCount || m > maxReasonableCount {
+	if n > maxGraphNodes || m > maxReasonableCount {
 		return nil, fmt.Errorf("store: graph %s: implausible sizes n=%d m=%d", key, n, m)
 	}
 	if uint64(len(body)) != 16+24*m {
@@ -138,15 +148,31 @@ func decodeGraph(payload []byte, key service.Fingerprint) (*graph.Graph, error) 
 	}
 	g := graph.New(int(n))
 	off := 16
+	var pu, pv uint64
+	var pw float64
 	for i := uint64(0); i < m; i++ {
 		u := binary.BigEndian.Uint64(body[off:])
 		v := binary.BigEndian.Uint64(body[off+8:])
 		w := math.Float64frombits(binary.BigEndian.Uint64(body[off+16:]))
 		off += 24
-		if u >= n || v >= n || u == v {
+		if u >= v || v >= n {
+			// u >= v also rejects self-loops; canonical edges are
+			// normalized to u < v before sorting.
 			return nil, fmt.Errorf("store: graph %s: edge %d endpoints {%d,%d} invalid for %d nodes",
 				key, i, u, v, n)
 		}
+		if math.IsNaN(w) {
+			return nil, fmt.Errorf("store: graph %s: edge %d has NaN weight", key, i)
+		}
+		// The payload must be the canonical encoding — nondecreasing in
+		// (u, v, w) — or its fingerprint is not the graph's true content
+		// address and the same graph could register under two identities.
+		// The binary ingest path feeds this decoder raw network bytes, so
+		// this is enforced here, not assumed.
+		if i > 0 && (u < pu || (u == pu && (v < pv || (v == pv && w < pw)))) {
+			return nil, fmt.Errorf("store: graph %s: edge %d out of canonical order", key, i)
+		}
+		pu, pv, pw = u, v, w
 		g.AddWeightedEdge(int(u), int(v), w)
 	}
 	return g, nil

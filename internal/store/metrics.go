@@ -42,6 +42,9 @@ func newStoreMetrics(r *obs.Registry, s *Store) *storeMetrics {
 		stats(func(o OpenStats) float64 { return float64(o.Segments) }))
 	r.GaugeFunc("locshort_store_bytes", "Total size of all segment files.", nil,
 		stats(func(o OpenStats) float64 { return float64(o.Bytes) }))
+	r.GaugeFunc("locshort_store_mapped_segments",
+		"Sealed segments served zero-copy from a read-only memory mapping.", nil,
+		stats(func(o OpenStats) float64 { return float64(o.MappedSegments) }))
 	r.GaugeFunc("locshort_store_records", "Live records, by kind.", obs.Labels{"kind": "graph"},
 		stats(func(o OpenStats) float64 { return float64(o.Graphs) }))
 	r.GaugeFunc("locshort_store_records", "Live records, by kind.", obs.Labels{"kind": "partition"},

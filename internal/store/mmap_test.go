@@ -1,0 +1,210 @@
+package store
+
+import (
+	"bytes"
+	"os"
+	"testing"
+	"time"
+
+	"locshort/internal/cli"
+	"locshort/internal/partition"
+	"locshort/internal/service"
+	"locshort/internal/shortcut"
+)
+
+// writeSegmentedFixture fills dir with enough records to seal several
+// segments (tiny SegmentBytes forces rotation), so the mmap path — which
+// only ever covers sealed segments — actually has segments to map. Returns
+// the shortcut keys and graph fingerprints written.
+func writeSegmentedFixture(t *testing.T, dir string) (keys, fps []service.Fingerprint, parts []*partition.Partition) {
+	t.Helper()
+	s, err := Open(dir, Options{NoSync: true, SegmentBytes: 2 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	for _, spec := range []string{"grid:6x6", "grid:5x8", "cycle:30", "wheel:25"} {
+		g, p, res := buildFixture(t, spec, "blobs:4", 3)
+		fp := service.FingerprintGraph(g)
+		if err := s.PutGraph(fp, g); err != nil {
+			t.Fatal(err)
+		}
+		key := service.ShortcutKey(fp, p, shortcut.Options{})
+		if err := s.PutShortcut(key, fp, p, shortcut.Options{}, res, time.Millisecond); err != nil {
+			t.Fatal(err)
+		}
+		keys = append(keys, key)
+		fps = append(fps, fp)
+		parts = append(parts, p)
+	}
+	if st := s.OpenStats(); st.Segments < 3 {
+		t.Fatalf("fixture produced %d segments, want >= 3 so sealed segments exist", st.Segments)
+	}
+	return keys, fps, parts
+}
+
+// TestMmapReadAtEquivalence opens the same directory with and without mmap
+// and asserts the two stores are observationally identical: same record
+// index, byte-identical payloads, same decoded shortcuts. This is the
+// contract that lets -mmap=false exist as a pure fallback switch.
+func TestMmapReadAtEquivalence(t *testing.T) {
+	dir := t.TempDir()
+	keys, fps, parts := writeSegmentedFixture(t, dir)
+
+	mm, err := Open(dir, Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mm.Close()
+	pr, err := Open(dir, Options{NoSync: true, NoMmap: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pr.Close()
+
+	if got := mm.OpenStats().MappedSegments; got == 0 {
+		t.Fatal("mmap store mapped no segments; equivalence test would compare pread to pread")
+	}
+	if got := pr.OpenStats().MappedSegments; got != 0 {
+		t.Fatalf("NoMmap store mapped %d segments, want 0", got)
+	}
+
+	ra, rb := mm.Records(), pr.Records()
+	if len(ra) != len(rb) {
+		t.Fatalf("record counts differ: mmap %d, pread %d", len(ra), len(rb))
+	}
+	for i := range ra {
+		if ra[i] != rb[i] {
+			t.Fatalf("record %d differs: mmap %+v, pread %+v", i, ra[i], rb[i])
+		}
+	}
+	for i, fp := range fps {
+		pa, oka, erra := mm.GraphPayload(fp)
+		pb, okb, errb := pr.GraphPayload(fp)
+		if !oka || !okb || erra != nil || errb != nil {
+			t.Fatalf("graph %d payload: mmap ok=%v err=%v, pread ok=%v err=%v", i, oka, erra, okb, errb)
+		}
+		if !bytes.Equal(pa, pb) {
+			t.Errorf("graph %d payload bytes differ between mmap and pread", i)
+		}
+		sa, oka, erra := mm.ShortcutPayload(keys[i])
+		sb, okb, errb := pr.ShortcutPayload(keys[i])
+		if !oka || !okb || erra != nil || errb != nil {
+			t.Fatalf("shortcut %d payload: mmap ok=%v err=%v, pread ok=%v err=%v", i, oka, erra, okb, errb)
+		}
+		if !bytes.Equal(sa, sb) {
+			t.Errorf("shortcut %d payload bytes differ between mmap and pread", i)
+		}
+
+		ga, _, _ := mm.GetGraph(fp)
+		gb, _, _ := pr.GetGraph(fp)
+		resa, dura, oka2, erra2 := mm.GetShortcut(keys[i], ga, parts[i])
+		resb, durb, okb2, errb2 := pr.GetShortcut(keys[i], gb, parts[i])
+		if !oka2 || !okb2 || erra2 != nil || errb2 != nil {
+			t.Fatalf("shortcut %d decode: mmap ok=%v err=%v, pread ok=%v err=%v", i, oka2, erra2, okb2, errb2)
+		}
+		if dura != durb {
+			t.Errorf("shortcut %d build time differs: %v vs %v", i, dura, durb)
+		}
+		if !sameCanonicalH(canonicalH(resa.Shortcut), canonicalH(resb.Shortcut)) {
+			t.Errorf("shortcut %d decoded H sets differ between mmap and pread", i)
+		}
+	}
+}
+
+// TestTornTailRepairWithMmap tears bytes off the active tail of a
+// multi-segment store and reopens with mapping enabled: the sealed
+// segments map and serve, the torn record is dropped, and the repaired
+// store accepts appends.
+func TestTornTailRepairWithMmap(t *testing.T) {
+	dir := t.TempDir()
+	keys, fps, _ := writeSegmentedFixture(t, dir)
+	segs := segFiles(t, dir)
+	last := segs[len(segs)-1]
+	info, err := os.Stat(last)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(last, info.Size()-5); err != nil {
+		t.Fatal(err)
+	}
+	s, err := Open(dir, Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	st := s.OpenStats()
+	if st.TruncatedBytes == 0 {
+		t.Error("open repaired nothing, want a truncated tail")
+	}
+	if st.MappedSegments == 0 {
+		t.Error("no segments mapped after repair")
+	}
+	// The last-written record died with the tail; everything in sealed
+	// segments serves fine.
+	if _, ok, err := s.GetGraph(fps[0]); !ok || err != nil {
+		t.Errorf("sealed-segment graph lost: ok=%v err=%v", ok, err)
+	}
+	if _, ok, err := s.ShortcutPayload(keys[0]); !ok || err != nil {
+		t.Errorf("sealed-segment shortcut payload lost: ok=%v err=%v", ok, err)
+	}
+	g, _, err := cli.ParseGraph("cycle:12", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.PutGraph(service.FingerprintGraph(g), g); err != nil {
+		t.Fatalf("append after torn-tail repair: %v", err)
+	}
+}
+
+// TestFlippedCRCSealedSegmentWithMmap corrupts a record checksum inside a
+// segment that will be sealed and mapped, and asserts replay drops exactly
+// that record while zero-copy reads of its mapped neighbors still work —
+// the open-time CRC pass is what licenses skipping per-read checksums.
+func TestFlippedCRCSealedSegmentWithMmap(t *testing.T) {
+	dir := t.TempDir()
+	keys, fps, _ := writeSegmentedFixture(t, dir)
+	segs := segFiles(t, dir)
+	first := segs[0]
+	data, err := os.ReadFile(first)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip a CRC byte of the first frame (header layout: kind byte, key,
+	// length, CRC at offsets 13..16).
+	data[len(segMagic)+14] ^= 0xff
+	if err := os.WriteFile(first, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s, err := Open(dir, Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	st := s.OpenStats()
+	if st.CorruptSkipped != 1 {
+		t.Errorf("CorruptSkipped = %d, want 1", st.CorruptSkipped)
+	}
+	if st.MappedSegments == 0 {
+		t.Error("corrupt sealed segment prevented mapping entirely")
+	}
+	// The first record written was fps[0]'s graph; it must be gone while
+	// later records — including ones in the same mapped segment — serve.
+	if _, ok, _ := s.GetGraph(fps[0]); ok {
+		t.Error("checksum-corrupt record still live")
+	}
+	live := 0
+	for i := 1; i < len(fps); i++ {
+		if _, ok, err := s.GetGraph(fps[i]); ok && err == nil {
+			live++
+		}
+	}
+	if live != len(fps)-1 {
+		t.Errorf("%d of %d later graphs live, want all", live, len(fps)-1)
+	}
+	for i := 1; i < len(keys); i++ {
+		if _, ok, err := s.ShortcutPayload(keys[i]); !ok || err != nil {
+			t.Errorf("shortcut %d payload: ok=%v err=%v", i, ok, err)
+		}
+	}
+}

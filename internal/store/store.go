@@ -78,6 +78,16 @@ type Options struct {
 	// never corrupts what an earlier sync made durable. Tests and bulk
 	// imports use it; daemons should not.
 	NoSync bool
+	// NoMmap disables memory-mapping sealed segments, forcing every read
+	// through the portable pread path (fresh buffer plus a per-read
+	// checksum). The default maps sealed segments read-only where the
+	// platform supports it and serves payloads as subslices of the
+	// mapping — zero-copy — relying on the checksum verification that
+	// already happened when each record entered the index: replay for
+	// records found at Open, the write path (we computed the CRC) for
+	// records this process appended. The active tail segment is never
+	// mapped; it stays on the write path untouched.
+	NoMmap bool
 	// Obs, when non-nil, registers the store's metric families:
 	// append/fsync latency histograms, per-kind append and segment
 	// rotation counters, and func-backed gauges over OpenStats (segments,
@@ -100,6 +110,10 @@ type OpenStats struct {
 	Graphs, Partitions, Shortcuts, Jobs int
 	// Bytes is the total size of all segment files.
 	Bytes int64
+	// MappedSegments counts segments currently served zero-copy from a
+	// read-only memory mapping (sealed segments only; zero with
+	// Options.NoMmap or on platforms without mmap).
+	MappedSegments int
 	// CorruptSkipped counts records dropped for checksum mismatch.
 	CorruptSkipped int
 	// TruncatedBytes counts bytes cut off a torn segment tail.
@@ -126,6 +140,10 @@ type segment struct {
 	seq  int
 	f    *os.File
 	size int64
+	// data is the read-only memory mapping of a sealed segment; nil keeps
+	// the segment on the pread path (active tail, Options.NoMmap, mmap
+	// failure, or an unsupported platform).
+	data []byte
 }
 
 // Store is a content-addressed, append-only snapshot store for graphs,
@@ -151,6 +169,11 @@ type Store struct {
 	index   map[indexKey]recordRef
 	byGraph map[service.Fingerprint]map[service.Fingerprint]struct{} // graphFP -> shortcut keys
 	open    OpenStats
+	// retired holds mappings of segments GC deleted. Zero-copy payload
+	// slices handed out before the GC may still alias them, so they are
+	// munmapped only at Close — address space is cheap, dangling reads
+	// are not.
+	retired [][]byte
 
 	// perms memoizes canonical edge permutations per graph *instance* —
 	// deliberately not per fingerprint: two representations of the same
@@ -217,6 +240,14 @@ func Open(dir string, opts Options) (*Store, error) {
 			return nil, err
 		}
 	}
+	// Map the sealed segments (everything but the active tail) now that
+	// replay has repaired torn tails — the mapping length is the repaired
+	// size. Open is single-threaded, so no lock is needed yet.
+	for _, seg := range s.segs {
+		if seg != s.active {
+			s.mapSealedLocked(seg)
+		}
+	}
 	s.recount()
 	if opts.Obs != nil {
 		s.metrics = newStoreMetrics(opts.Obs, s)
@@ -267,10 +298,31 @@ func (s *Store) startSegment(seq int) error {
 	}
 	seg := &segment{seq: seq, f: f, size: int64(len(segMagic))}
 	s.mu.Lock()
+	if prev := s.active; prev != nil {
+		// The outgoing active segment is sealed from here on: no append
+		// will ever touch it again, so its size is final and it can join
+		// the zero-copy read path. Rotation is rare (once per
+		// SegmentBytes), so the mmap syscall under mu is fine.
+		s.mapSealedLocked(prev)
+	}
 	s.segs[seq] = seg
 	s.active = seg
 	s.mu.Unlock()
 	return nil
+}
+
+// mapSealedLocked attaches a read-only memory mapping to a sealed segment.
+// Failure — including an unsupported platform — is not an error: the
+// segment just stays on the pread fallback. Caller holds mu (or is Open's
+// single-threaded setup) and must never map the active segment, because the
+// mapping length is fixed at the segment's current size.
+func (s *Store) mapSealedLocked(seg *segment) {
+	if s.opts.NoMmap || seg.data != nil || seg.size <= 0 {
+		return
+	}
+	if data, err := mmapFile(seg.f, seg.size); err == nil {
+		seg.data = data
+	}
 }
 
 // syncDir best-effort fsyncs a directory so created/renamed files are
@@ -412,8 +464,12 @@ func (s *Store) recount() {
 	s.open.Segments = len(s.segs)
 	s.open.Graphs, s.open.Partitions, s.open.Shortcuts, s.open.Jobs = 0, 0, 0, 0
 	s.open.Bytes = 0
+	s.open.MappedSegments = 0
 	for _, seg := range s.segs {
 		s.open.Bytes += seg.size
+		if seg.data != nil {
+			s.open.MappedSegments++
+		}
 	}
 	for ik := range s.index {
 		switch ik.kind {
@@ -441,8 +497,11 @@ func (s *Store) OpenStats() OpenStats {
 // Dir returns the store's root directory.
 func (s *Store) Dir() string { return s.dir }
 
-// Close releases every segment file handle. Appended records are already
-// on disk (and fsynced unless NoSync); Close never loses data.
+// Close releases every segment file handle and unmaps every segment
+// mapping, including mappings GC retired. Appended records are already on
+// disk (and fsynced unless NoSync); Close never loses data. Zero-copy
+// payload slices handed out by reads become invalid at Close — callers
+// must drain readers first, which every daemon shutdown path already does.
 func (s *Store) Close() error {
 	s.writeMu.Lock()
 	defer s.writeMu.Unlock()
@@ -454,10 +513,18 @@ func (s *Store) Close() error {
 func (s *Store) closeLocked() error {
 	var first error
 	for _, seg := range s.segs {
+		if seg.data != nil {
+			munmapFile(seg.data)
+			seg.data = nil
+		}
 		if err := seg.f.Close(); err != nil && first == nil {
 			first = err
 		}
 	}
+	for _, data := range s.retired {
+		munmapFile(data)
+	}
+	s.retired = nil
 	s.segs = make(map[int]*segment)
 	s.active = nil
 	return first
@@ -538,12 +605,23 @@ func (s *Store) appendRecord(kind byte, key service.Fingerprint, payload []byte)
 	return nil
 }
 
-// readPayload fetches a live record's payload (re-verifying its checksum).
-// Caller holds at least s.mu.RLock.
+// readPayload fetches a live record's payload. Caller holds at least
+// s.mu.RLock. On a mapped (sealed) segment the returned slice aliases the
+// read-only mapping — zero-copy, no per-read checksum: the frame was
+// CRC-verified when the record entered the index (replay at Open, or the
+// write path for records this process appended), and the mapping stays
+// valid until Close even across a GC (see Store.retired). The pread
+// fallback keeps the historical behavior: fresh buffer, checksum
+// re-verified on every read.
 func (s *Store) readPayload(ref recordRef) ([]byte, error) {
 	seg, ok := s.segs[ref.seg]
 	if !ok {
 		return nil, fmt.Errorf("store: segment %d vanished", ref.seg)
+	}
+	if seg.data != nil && ref.off+ref.size <= int64(len(seg.data)) {
+		// Three-index form so an append by a careless caller reallocates
+		// instead of scribbling on the read-only mapping.
+		return seg.data[ref.off+frameHdrSize : ref.off+ref.size : ref.off+ref.size], nil
 	}
 	frame := make([]byte, ref.size)
 	if _, err := seg.f.ReadAt(frame, ref.off); err != nil {
@@ -557,6 +635,35 @@ func (s *Store) readPayload(ref recordRef) ([]byte, error) {
 			service.Fingerprint(binary.BigEndian.Uint64(frame[1:])), frame[0])
 	}
 	return frame[frameHdrSize:], nil
+}
+
+// checkFrame re-verifies a live record's frame checksum, reading through
+// the mapping when one exists (the MAP_SHARED mapping observes the file's
+// current bytes, so external corruption is visible through it).
+func (s *Store) checkFrame(ref recordRef) error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	seg, ok := s.segs[ref.seg]
+	if !ok {
+		return fmt.Errorf("store: segment %d vanished", ref.seg)
+	}
+	var frame []byte
+	if seg.data != nil && ref.off+ref.size <= int64(len(seg.data)) {
+		frame = seg.data[ref.off : ref.off+ref.size]
+	} else {
+		frame = make([]byte, ref.size)
+		if _, err := seg.f.ReadAt(frame, ref.off); err != nil {
+			return err
+		}
+	}
+	crc := crc32.Checksum(frame[:9], crcTable)
+	crc = crc32.Update(crc, crcTable, frame[9:13])
+	crc = crc32.Update(crc, crcTable, frame[frameHdrSize:])
+	if crc != binary.BigEndian.Uint32(frame[13:]) {
+		return fmt.Errorf("store: record %s/%c: checksum mismatch",
+			service.Fingerprint(binary.BigEndian.Uint64(frame[1:])), frame[0])
+	}
+	return nil
 }
 
 // perm returns the memoized canonical edge permutation for this exact
@@ -887,6 +994,13 @@ func (s *Store) Verify() []Problem {
 	})
 	graphs := make(map[service.Fingerprint]*graph.Graph)
 	for _, r := range recs {
+		// Mapped reads skip the per-read checksum, so Verify re-checks
+		// every frame explicitly — its whole point is catching corruption
+		// that happened after the record was indexed.
+		if err := s.checkFrame(r.ref); err != nil {
+			bad(r.ik.kind, r.ik.key, err)
+			continue
+		}
 		s.mu.RLock()
 		payload, err := s.readPayload(r.ref)
 		s.mu.RUnlock()
@@ -1072,8 +1186,15 @@ func (s *Store) GC() (GCStats, error) {
 	}
 	syncDir(s.dir)
 	// Point of no return: the compacted segment is durable. Retire the
-	// old files and swap the index over.
+	// old files and swap the index over. Mappings of the deleted segments
+	// move to the graveyard instead of being unmapped: concurrent readers
+	// may still hold zero-copy slices into them, and an unlinked file's
+	// mapping stays valid until munmap at Close.
 	for seq, seg := range s.segs {
+		if seg.data != nil {
+			s.retired = append(s.retired, seg.data)
+			seg.data = nil
+		}
 		seg.f.Close()
 		os.Remove(s.segPath(seq))
 		delete(s.segs, seq)

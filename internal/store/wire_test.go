@@ -1,0 +1,213 @@
+package store
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"locshort/internal/cli"
+	"locshort/internal/service"
+	"locshort/internal/shortcut"
+)
+
+// TestPeerRecordBinaryFraming round-trips a full dependency closure through
+// the binary peer framing and asserts the result verifies — the property
+// the binary peer exchange rests on: framing adds nothing, removes nothing,
+// and the payloads stay the exact bytes the fingerprints hash.
+func TestPeerRecordBinaryFraming(t *testing.T) {
+	dir := t.TempDir()
+	g, p, res := buildFixture(t, "grid:6x6", "rows:6x6", 0)
+	fp := service.FingerprintGraph(g)
+	key := service.ShortcutKey(fp, p, shortcut.Options{})
+	s := mustOpen(t, dir)
+	defer s.Close()
+	if err := s.PutGraph(fp, g); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.PutShortcut(key, fp, p, shortcut.Options{}, res, time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	rec, ok, err := s.ShortcutRecord(key)
+	if !ok || err != nil {
+		t.Fatalf("ShortcutRecord: ok=%v err=%v", ok, err)
+	}
+
+	frame := AppendPeerRecord(nil, rec)
+	got, err := DecodePeerRecord(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Key != rec.Key || got.GraphFP != rec.GraphFP || got.PartitionFP != rec.PartitionFP {
+		t.Errorf("fingerprints changed in transit: %+v vs %+v", got, rec)
+	}
+	for i, pair := range [][2][]byte{
+		{got.GraphPayload, rec.GraphPayload},
+		{got.PartitionPayload, rec.PartitionPayload},
+		{got.ShortcutPayload, rec.ShortcutPayload},
+	} {
+		if !bytes.Equal(pair[0], pair[1]) {
+			t.Errorf("payload %d changed in transit", i)
+		}
+	}
+	if _, _, _, _, err := VerifyPeerRecord(got); err != nil {
+		t.Errorf("round-tripped record fails verification: %v", err)
+	}
+}
+
+// TestPeerRecordBinaryFramingErrors feeds the decoder malformed frames:
+// every prefix of a valid frame must fail cleanly (no panic, no false
+// success), as must a bad version byte and trailing garbage.
+func TestPeerRecordBinaryFramingErrors(t *testing.T) {
+	g, _, err := cli.ParseGraph("cycle:8", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := EncodeGraphPayload(g)
+	rec := PeerRecord{
+		Key:          1,
+		GraphFP:      service.FingerprintBytes(payload[1:]),
+		PartitionFP:  3,
+		GraphPayload: payload,
+	}
+	frame := AppendPeerRecord(nil, rec)
+	for n := 0; n < len(frame); n++ {
+		if _, err := DecodePeerRecord(frame[:n]); err == nil {
+			t.Fatalf("prefix of %d/%d bytes decoded without error", n, len(frame))
+		}
+	}
+	bad := append([]byte{}, frame...)
+	bad[0] = 99
+	if _, err := DecodePeerRecord(bad); err == nil {
+		t.Error("bad version byte accepted")
+	}
+	if _, err := DecodePeerRecord(append(append([]byte{}, frame...), 0)); err == nil {
+		t.Error("trailing byte accepted")
+	}
+}
+
+// TestEncodeShortcutRecordPayloadMatchesStore asserts the storeless
+// fallback encoder produces the exact bytes PutShortcut persisted — the
+// byte-equivalence that lets a binary response come from either path
+// without the client being able to tell.
+func TestEncodeShortcutRecordPayloadMatchesStore(t *testing.T) {
+	dir := t.TempDir()
+	g, p, res := buildFixture(t, "grid:5x5", "blobs:5", 7)
+	fp := service.FingerprintGraph(g)
+	key := service.ShortcutKey(fp, p, shortcut.Options{})
+	s := mustOpen(t, dir)
+	defer s.Close()
+	if err := s.PutGraph(fp, g); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.PutShortcut(key, fp, p, shortcut.Options{}, res, 42*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	stored, ok, err := s.ShortcutPayload(key)
+	if !ok || err != nil {
+		t.Fatalf("ShortcutPayload: ok=%v err=%v", ok, err)
+	}
+	fresh := EncodeShortcutRecordPayload(fp, p, shortcut.Options{}, res, 42*time.Millisecond)
+	if !bytes.Equal(stored, fresh) {
+		t.Error("fresh encoding differs from the stored payload")
+	}
+}
+
+// TestPutGraphPayloadVerifies asserts the raw-payload ingest path stays
+// self-verifying: a payload whose bytes do not hash to the claimed
+// fingerprint, or with a wrong version byte, is rejected before anything
+// hits the log.
+func TestPutGraphPayloadVerifies(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir)
+	defer s.Close()
+	g, _, err := cli.ParseGraph("grid:4x4", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := EncodeGraphPayload(g)
+	fp := service.FingerprintBytes(payload[1:])
+
+	if err := s.PutGraphPayload(fp+1, payload); err == nil {
+		t.Error("wrong fingerprint accepted")
+	}
+	bad := append([]byte{}, payload...)
+	bad[0] = 0xee
+	if err := s.PutGraphPayload(fp, bad); err == nil {
+		t.Error("wrong payload version accepted")
+	}
+	if err := s.PutGraphPayload(fp, nil); err == nil {
+		t.Error("empty payload accepted")
+	}
+	if err := s.PutGraphPayload(fp, payload); err != nil {
+		t.Fatalf("valid payload rejected: %v", err)
+	}
+	// Verbatim persistence: the payload read back is the payload put in.
+	got, ok, err := s.GraphPayload(fp)
+	if !ok || err != nil || !bytes.Equal(got, payload) {
+		t.Errorf("read-back mismatch: ok=%v err=%v equal=%v", ok, err, bytes.Equal(got, payload))
+	}
+	// Re-put of known content is a no-op, not an error.
+	if err := s.PutGraphPayload(fp, payload); err != nil {
+		t.Errorf("re-put of known content: %v", err)
+	}
+	if st := s.OpenStats(); st.Graphs != 1 {
+		t.Errorf("Graphs = %d, want 1 after dedup", st.Graphs)
+	}
+}
+
+// FuzzDecodeGraphPayload drives the binary ingest decoder with arbitrary
+// bytes. The invariants: never panic; and any payload the decoder accepts
+// must be canonical — re-encoding the decoded graph reproduces the input
+// bytes exactly, so the fingerprint the store computed over the input is
+// the graph's true content address.
+func FuzzDecodeGraphPayload(f *testing.F) {
+	for _, spec := range []string{"grid:4x4", "cycle:9", "wheel:7", "random:12,20"} {
+		g, _, err := cli.ParseGraph(spec, 1)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(EncodeGraphPayload(g))
+	}
+	f.Add([]byte{})
+	f.Add([]byte{graphPayloadVersion})
+	f.Fuzz(func(t *testing.T, payload []byte) {
+		var fp service.Fingerprint
+		if len(payload) >= 1 {
+			fp = service.FingerprintBytes(payload[1:])
+		}
+		g, err := DecodeGraphPayload(payload, fp)
+		if err != nil {
+			return
+		}
+		re := EncodeGraphPayload(g)
+		if !bytes.Equal(re, payload) {
+			t.Fatalf("accepted non-canonical payload: re-encode differs (%d vs %d bytes)", len(re), len(payload))
+		}
+		if got := service.FingerprintGraph(g); got != fp {
+			t.Fatalf("fingerprint drift: payload hashes to %s, graph to %s", fp, got)
+		}
+	})
+}
+
+// FuzzDecodePeerRecord drives the peer-frame parser with arbitrary bytes:
+// it must never panic and never hand back payload slices that escape the
+// input buffer.
+func FuzzDecodePeerRecord(f *testing.F) {
+	g, _, err := cli.ParseGraph("grid:3x3", 0)
+	if err != nil {
+		f.Fatal(err)
+	}
+	payload := EncodeGraphPayload(g)
+	f.Add(AppendPeerRecord(nil, PeerRecord{Key: 1, GraphFP: 2, PartitionFP: 3, GraphPayload: payload}))
+	f.Add([]byte{peerRecordVersion})
+	f.Fuzz(func(t *testing.T, b []byte) {
+		rec, err := DecodePeerRecord(b)
+		if err != nil {
+			return
+		}
+		total := len(rec.GraphPayload) + len(rec.PartitionPayload) + len(rec.ShortcutPayload)
+		if total > len(b) {
+			t.Fatalf("decoded payloads (%d bytes) exceed input (%d bytes)", total, len(b))
+		}
+	})
+}

@@ -1,0 +1,134 @@
+// Package wire defines the binary HTTP protocol locshortd speaks next to
+// its JSON API. The insight it packages: the store's canonical payload
+// encodings (version byte + the exact bytes the content fingerprints are
+// computed over) already are a wire format — self-describing, self-
+// verifying, and byte-identical on every node. The binary protocol
+// therefore never invents a second encoding; it moves the store payloads
+// verbatim and adds only the two small envelopes the payloads cannot
+// carry themselves: this request body (which names a graph, a partition
+// spec, and options — inputs, not content) and a handful of response
+// headers for the metadata the JSON responses put in their envelope.
+//
+// Negotiation is plain HTTP: a request body in this format is announced
+// with `Content-Type: application/x-locshort`, a response in it is asked
+// for with `Accept: application/x-locshort`. Everything else — routes,
+// status codes, error envelopes (errors are always JSON) — is shared with
+// the JSON protocol, and the two are byte-equivalent where they overlap:
+// the same payload bytes, the same fingerprints.
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"strings"
+
+	"locshort/internal/service"
+)
+
+// ContentType is the media type of every binary request and response body.
+const ContentType = "application/x-locshort"
+
+// Response headers carrying the metadata a binary body omits. A binary
+// shortcut response is the canonical shortcut record payload; key, graph,
+// latency class, and build cost ride in these headers. A binary graph
+// ingest acknowledges with the graph headers and an empty body.
+const (
+	// HeaderKey is the shortcut key (16 hex digits).
+	HeaderKey = "X-Locshort-Key"
+	// HeaderGraph is the graph fingerprint (16 hex digits).
+	HeaderGraph = "X-Locshort-Graph"
+	// HeaderSource is the latency class that served a shortcut response:
+	// "cache", "store", "peer", or "built" (see the JSON field of the same
+	// name), with a "forward:" prefix when another node executed it.
+	HeaderSource = "X-Locshort-Source"
+	// HeaderServedBy names the cluster node that executed the request.
+	HeaderServedBy = "X-Locshort-Served-By"
+	// HeaderBuildNs is the build cost in nanoseconds.
+	HeaderBuildNs = "X-Locshort-Build-Ns"
+	// HeaderNodes and HeaderEdges acknowledge a graph ingest's size.
+	HeaderNodes = "X-Locshort-Nodes"
+	HeaderEdges = "X-Locshort-Edges"
+)
+
+// IsBinary reports whether a Content-Type or Accept header value names the
+// binary protocol. Parameters after ';' are ignored; the binary protocol
+// has none, but a client that appends charset noise should still be
+// understood.
+func IsBinary(v string) bool {
+	if i := strings.IndexByte(v, ';'); i >= 0 {
+		v = v[:i]
+	}
+	return strings.TrimSpace(v) == ContentType
+}
+
+// shortcutRequestVersion versions the binary shortcut request body.
+const shortcutRequestVersion = 1
+
+// ShortcutRequest is the binary body of POST /v1/shortcuts. It carries the
+// spec-form request only: a graph fingerprint, a partition spec in the
+// internal/cli language, a seed, and the canonical options text. Requests
+// needing an explicit part list or async submission use the JSON body —
+// those shapes are rare and cold; this one is the warm path.
+//
+// Layout: version byte, big-endian uint64 graph fingerprint, uvarint
+// partition-spec length + bytes, varint seed, uvarint options length +
+// bytes. No trailing bytes allowed.
+type ShortcutRequest struct {
+	Graph     service.Fingerprint
+	Partition string
+	Seed      int64
+	Options   string
+}
+
+// maxRequestString bounds the spec and options strings read from a request
+// body before allocation, far above any real spec.
+const maxRequestString = 1 << 16
+
+// AppendShortcutRequest renders r in binary form, appending to b.
+func AppendShortcutRequest(b []byte, r ShortcutRequest) []byte {
+	b = append(b, shortcutRequestVersion)
+	b = binary.BigEndian.AppendUint64(b, uint64(r.Graph))
+	b = binary.AppendUvarint(b, uint64(len(r.Partition)))
+	b = append(b, r.Partition...)
+	b = binary.AppendVarint(b, r.Seed)
+	b = binary.AppendUvarint(b, uint64(len(r.Options)))
+	b = append(b, r.Options...)
+	return b
+}
+
+// DecodeShortcutRequest parses a binary shortcut request body. The decoded
+// strings are copies; the caller may recycle b.
+func DecodeShortcutRequest(b []byte) (ShortcutRequest, error) {
+	var r ShortcutRequest
+	if len(b) < 1+8 || b[0] != shortcutRequestVersion {
+		return r, fmt.Errorf("wire: shortcut request: bad version or truncated")
+	}
+	r.Graph = service.Fingerprint(binary.BigEndian.Uint64(b[1:]))
+	b = b[9:]
+	readString := func(what string) (string, error) {
+		n, used := binary.Uvarint(b)
+		if used <= 0 || n > maxRequestString || uint64(len(b)-used) < n {
+			return "", fmt.Errorf("wire: shortcut request: truncated %s", what)
+		}
+		s := string(b[used : used+int(n)])
+		b = b[used+int(n):]
+		return s, nil
+	}
+	var err error
+	if r.Partition, err = readString("partition spec"); err != nil {
+		return r, err
+	}
+	seed, used := binary.Varint(b)
+	if used <= 0 {
+		return r, fmt.Errorf("wire: shortcut request: truncated seed")
+	}
+	b = b[used:]
+	r.Seed = seed
+	if r.Options, err = readString("options"); err != nil {
+		return r, err
+	}
+	if len(b) != 0 {
+		return r, fmt.Errorf("wire: shortcut request: %d trailing bytes", len(b))
+	}
+	return r, nil
+}

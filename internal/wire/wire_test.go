@@ -1,0 +1,89 @@
+package wire
+
+import (
+	"strings"
+	"testing"
+
+	"locshort/internal/service"
+)
+
+func TestShortcutRequestRoundTrip(t *testing.T) {
+	cases := []ShortcutRequest{
+		{},
+		{Graph: 0xdeadbeefcafef00d, Partition: "blobs:8", Seed: 42, Options: "delta=3"},
+		{Graph: 1, Partition: "rows:16x16", Seed: -7},
+		{Graph: service.Fingerprint(^uint64(0)), Partition: strings.Repeat("x", 1000), Seed: 1<<62 - 1, Options: strings.Repeat("o", 1000)},
+	}
+	for i, want := range cases {
+		b := AppendShortcutRequest(nil, want)
+		got, err := DecodeShortcutRequest(b)
+		if err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		if got != want {
+			t.Errorf("case %d: round trip changed the request:\n got %+v\nwant %+v", i, got, want)
+		}
+	}
+}
+
+func TestShortcutRequestDecodeErrors(t *testing.T) {
+	valid := AppendShortcutRequest(nil, ShortcutRequest{
+		Graph: 5, Partition: "blobs:4", Seed: 9, Options: "delta=2",
+	})
+	// Every strict prefix must fail: the layout has no optional suffix.
+	for n := 0; n < len(valid); n++ {
+		if _, err := DecodeShortcutRequest(valid[:n]); err == nil {
+			t.Fatalf("prefix of %d/%d bytes decoded without error", n, len(valid))
+		}
+	}
+	bad := append([]byte{}, valid...)
+	bad[0] = 2
+	if _, err := DecodeShortcutRequest(bad); err == nil {
+		t.Error("future version byte accepted")
+	}
+	if _, err := DecodeShortcutRequest(append(append([]byte{}, valid...), 0)); err == nil {
+		t.Error("trailing byte accepted")
+	}
+	// A declared string length far beyond the buffer must be rejected
+	// before allocation (maxRequestString).
+	huge := []byte{1, 0, 0, 0, 0, 0, 0, 0, 0, 0xff, 0xff, 0xff, 0xff, 0x7f}
+	if _, err := DecodeShortcutRequest(huge); err == nil {
+		t.Error("absurd string length accepted")
+	}
+}
+
+func TestIsBinary(t *testing.T) {
+	for v, want := range map[string]bool{
+		ContentType:                      true,
+		" application/x-locshort ":       true,
+		"application/x-locshort; q=0.9":  true,
+		"application/json":               false,
+		"":                               false,
+		"application/x-locshort-variant": false,
+	} {
+		if got := IsBinary(v); got != want {
+			t.Errorf("IsBinary(%q) = %v, want %v", v, got, want)
+		}
+	}
+}
+
+func FuzzDecodeShortcutRequest(f *testing.F) {
+	f.Add(AppendShortcutRequest(nil, ShortcutRequest{Graph: 3, Partition: "blobs:4", Seed: 1}))
+	f.Add([]byte{1})
+	f.Fuzz(func(t *testing.T, b []byte) {
+		r, err := DecodeShortcutRequest(b)
+		if err != nil {
+			return
+		}
+		// The request envelope is never hashed, so padded varints making
+		// two byte forms of one request are fine — but whatever decoded
+		// must survive a re-encode round trip unchanged.
+		r2, err := DecodeShortcutRequest(AppendShortcutRequest(nil, r))
+		if err != nil {
+			t.Fatalf("re-encode of accepted request does not decode: %v", err)
+		}
+		if r2 != r {
+			t.Fatalf("re-encode round trip changed the request: %+v vs %+v", r2, r)
+		}
+	})
+}
