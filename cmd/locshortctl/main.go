@@ -31,7 +31,12 @@
 //
 // Every other subcommand works offline on the store directory, which is
 // single-owner: run them against a stopped daemon or a copied directory,
-// never against the directory of a live locshortd.
+// never against the directory of a live locshortd. -store names the
+// backend that owns the directory (segment by default, objdir for the
+// object-directory tier — match the daemon's -store flag); every offline
+// subcommand works identically on any backend, except `gc`, which reports
+// "not supported" on backends without a compaction step. -store=mem is
+// rejected: an ephemeral backend has no on-disk state to administer.
 // `jobs cancel` exists exactly for that offline window: a job accepted by
 // a daemon that went down re-runs on the next warm start unless it is
 // canceled here first. See OPERATIONS.md for the backup / GC / verify /
@@ -64,6 +69,7 @@ func usage() error {
 
 func run() error {
 	data := flag.String("data", "", "store directory (required for offline subcommands)")
+	storeKind := flag.String("store", store.KindSegment, "storage backend of the -data directory: segment | objdir")
 	addr := flag.String("addr", "", "daemon address for the top subcommand")
 	interval := flag.Duration("interval", 2*time.Second, "top: delay between /metrics scrapes")
 	once := flag.Bool("once", false, "top: print one snapshot and exit (no screen clearing)")
@@ -116,6 +122,7 @@ func run() error {
 		vf := flag.NewFlagSet("verify", flag.ContinueOnError)
 		vaddr := vf.String("addr", *addr, "cluster node address for remote verification")
 		vdata := vf.String("data", *data, "store directory for offline verification")
+		vstore := vf.String("store", *storeKind, "storage backend of the -data directory")
 		if err := vf.Parse(flag.Args()[1:]); err != nil {
 			return err
 		}
@@ -125,17 +132,20 @@ func run() error {
 		if *vdata == "" && *vaddr != "" {
 			return runRemoteVerify(normalizeAddr(*vaddr))
 		}
-		*data = *vdata
+		*data, *storeKind = *vdata, *vstore
 	}
 	if *data == "" {
 		return usage()
+	}
+	if *storeKind == store.KindMem {
+		return fmt.Errorf("-store=mem is ephemeral: there is no on-disk state to administer (use `verify -addr` against the running daemon instead)")
 	}
 	// Unlike the daemon, an admin tool must not conjure an empty store out
 	// of a mistyped path and then report it "clean".
 	if fi, err := os.Stat(*data); err != nil || !fi.IsDir() {
 		return fmt.Errorf("store directory %s does not exist", *data)
 	}
-	s, err := store.Open(*data, store.Options{})
+	s, err := store.OpenBackend(*storeKind, *data, store.Options{})
 	if err != nil {
 		return err
 	}
@@ -184,7 +194,7 @@ func run() error {
 	}
 }
 
-func runLs(s *store.Store) error {
+func runLs(s store.Backend) error {
 	recs := s.Records()
 	fmt.Printf("%-9s  %-16s  %8s  %s\n", "KIND", "KEY", "BYTES", "DEPENDS ON")
 	for _, r := range recs {
@@ -195,8 +205,12 @@ func runLs(s *store.Store) error {
 		fmt.Printf("%-9s  %-16s  %8d  %s\n", r.Kind, r.Key, r.Bytes, dep)
 	}
 	st := s.OpenStats()
-	fmt.Printf("%d records (%d graphs, %d partitions, %d shortcuts, %d jobs) in %d segments, %d bytes\n",
-		len(recs), st.Graphs, st.Partitions, st.Shortcuts, st.Jobs, st.Segments, st.Bytes)
+	layout := ""
+	if st.Segments > 0 {
+		layout = fmt.Sprintf(" in %d segments", st.Segments)
+	}
+	fmt.Printf("%d records (%d graphs, %d partitions, %d shortcuts, %d jobs)%s, %d bytes\n",
+		len(recs), st.Graphs, st.Partitions, st.Shortcuts, st.Jobs, layout, st.Bytes)
 	if st.CorruptSkipped > 0 || st.TruncatedBytes > 0 {
 		fmt.Printf("repaired on open: %d corrupt records skipped, %d bytes truncated\n",
 			st.CorruptSkipped, st.TruncatedBytes)
@@ -207,7 +221,7 @@ func runLs(s *store.Store) error {
 // runInspect decodes every record stored under fp (a fingerprint can in
 // principle key a graph, a partition, and a shortcut at once — they are
 // separate namespaces) and prints what it finds.
-func runInspect(s *store.Store, fp service.Fingerprint) error {
+func runInspect(s store.Backend, fp service.Fingerprint) error {
 	found := false
 	for _, r := range s.Records() {
 		if r.Key != fp {
@@ -258,7 +272,7 @@ func runInspect(s *store.Store, fp service.Fingerprint) error {
 	return nil
 }
 
-func runVerify(s *store.Store) error {
+func runVerify(s store.Backend) error {
 	st := s.OpenStats()
 	if st.CorruptSkipped > 0 || st.TruncatedBytes > 0 {
 		fmt.Printf("repaired on open: %d corrupt records skipped, %d bytes truncated\n",
@@ -278,7 +292,7 @@ func runVerify(s *store.Store) error {
 }
 
 // loadJobs decodes every live job record, oldest first.
-func loadJobs(s *store.Store) ([]jobs.Record, error) {
+func loadJobs(s store.Backend) ([]jobs.Record, error) {
 	var recs []jobs.Record
 	err := s.EachJob(func(id uint64, payload []byte) error {
 		rec, err := jobs.DecodeRecord(payload)
@@ -295,7 +309,7 @@ func loadJobs(s *store.Store) ([]jobs.Record, error) {
 	return recs, nil
 }
 
-func runJobsLs(s *store.Store) error {
+func runJobsLs(s store.Backend) error {
 	recs, err := loadJobs(s)
 	if err != nil {
 		return err
@@ -325,7 +339,7 @@ func runJobsLs(s *store.Store) error {
 	return nil
 }
 
-func runJobsInspect(s *store.Store, id jobs.ID) error {
+func runJobsInspect(s store.Backend, id jobs.ID) error {
 	payload, ok, err := s.GetJob(uint64(id))
 	if err != nil {
 		return err
@@ -361,7 +375,7 @@ func runJobsInspect(s *store.Store, id jobs.ID) error {
 
 // runJobsCancel durably cancels a non-terminal job record so the next
 // daemon warm start does not re-run it.
-func runJobsCancel(s *store.Store, id jobs.ID) error {
+func runJobsCancel(s store.Backend, id jobs.ID) error {
 	payload, ok, err := s.GetJob(uint64(id))
 	if err != nil {
 		return err
@@ -391,15 +405,25 @@ func runJobsCancel(s *store.Store, id jobs.ID) error {
 	return nil
 }
 
-func runGC(s *store.Store) error {
+func runGC(s store.Backend) error {
+	// GC is an optional capability (store.Compactor): an ephemeral backend
+	// reclaims space eagerly and has nothing to compact.
+	c, ok := s.(store.Compactor)
+	if !ok {
+		fmt.Println("gc: not supported by this backend (it reclaims space as records are deleted); nothing to do")
+		return nil
+	}
 	before := s.OpenStats()
-	gc, err := s.GC()
+	gc, err := c.GC()
 	if err != nil {
 		return err
 	}
 	fmt.Printf("gc: %d live records kept (%d bytes), %d index entries dropped\n",
 		gc.LiveRecords, gc.LiveBytes, gc.DroppedRecords)
-	fmt.Printf("gc: reclaimed %d of %d bytes, %d segment(s) remain\n",
-		gc.ReclaimedBytes, before.Bytes, gc.Segments)
+	layout := ""
+	if gc.Segments > 0 {
+		layout = fmt.Sprintf(", %d segment(s) remain", gc.Segments)
+	}
+	fmt.Printf("gc: reclaimed %d of %d bytes%s\n", gc.ReclaimedBytes, before.Bytes, layout)
 	return nil
 }

@@ -11,7 +11,8 @@
 //
 //	locshortd [-addr 127.0.0.1:8080] [-workers N] [-cache N] [-queue N]
 //	          [-async-queue N] [-async-workers N] [-retries N]
-//	          [-data DIR] [-mmap=false] [-addrfile PATH] [-pprof ADDR]
+//	          [-data DIR] [-store segment|objdir|mem] [-mmap=false]
+//	          [-addrfile PATH] [-pprof ADDR]
 //	          [-slow-request DUR] [-traces N] [-quiet]
 //	          [-cluster-self HOST:PORT -cluster-peers H1:P1,H2:P2,...]
 //	          [-cluster-vnodes N] [-cluster-replicas N] [-sync-interval DUR]
@@ -62,15 +63,21 @@
 // See OPERATIONS.md §9 for the cluster runbook.
 //
 // -data DIR makes the daemon durable: ingested graphs, built shortcuts,
-// and async job records persist to the append-only store in DIR, the
-// graph catalog warm-starts on boot, and cache misses are served
-// store-first — so a restart costs a store read per shortcut instead of a
-// rebuild stampede. Sealed segments are memory-mapped read-only and
-// binary responses serve their payloads as subslices of the mapping,
-// zero-copy; -mmap=false forces the portable pread path (fresh buffer,
-// per-read checksum) if a platform or filesystem misbehaves under mmap.
-// See OPERATIONS.md for the on-disk layout and the locshortctl runbook
-// (backup, gc, verify, jobs).
+// and async job records persist to the store in DIR, the graph catalog
+// warm-starts on boot, and cache misses are served store-first — so a
+// restart costs a store read per shortcut instead of a rebuild stampede.
+// -store selects the backend (all pass the same conformance suite, see
+// internal/store/storetest): "segment" (default) is the append-only
+// segment store — sealed segments are memory-mapped read-only and binary
+// responses serve their payloads as subslices of the mapping, zero-copy;
+// -mmap=false forces the portable pread path (fresh buffer, per-read
+// checksum) if a platform or filesystem misbehaves under mmap. "objdir"
+// is a one-file-per-record object directory (an S3-style tier laid out
+// on the local filesystem). "mem" is an ephemeral in-memory backend that
+// takes no -data: the full store surface (jobs durability across the
+// manager, verify, ls) without any disk, for tests and scratch serving;
+// a restart starts empty. See OPERATIONS.md for the on-disk layouts and
+// the locshortctl runbook (backup, gc, verify, jobs).
 //
 // -addr :0 picks a free port; the bound address is printed on stdout and,
 // with -addrfile, written to PATH so scripts (CI, cmd/loadgen) can find
@@ -129,6 +136,7 @@ func run() error {
 		addrfile     = flag.String("addrfile", "", "write the bound address to this file")
 		pprofA       = flag.String("pprof", "", "serve net/http/pprof on this address (empty: disabled)")
 		data         = flag.String("data", "", "durable store directory (empty: in-memory only)")
+		storeKind    = flag.String("store", store.KindSegment, "storage backend: segment | objdir | mem (mem is ephemeral and takes no -data)")
 		mmapF        = flag.Bool("mmap", true, "memory-map sealed store segments for zero-copy reads (-mmap=false forces pread)")
 		slowReq      = flag.Duration("slow-request", 0, "warn with a build-stage breakdown for requests at least this slow (0: disabled)")
 		traceCap     = flag.Int("traces", 128, "build traces retained for GET /v1/traces")
@@ -160,10 +168,13 @@ func run() error {
 		Obs:             reg,
 		Tracer:          tracer,
 	}
-	var st *store.Store
-	if *data != "" {
+	var st store.Backend
+	if *storeKind == store.KindMem && *data != "" {
+		return fmt.Errorf("-store=mem is ephemeral and takes no -data")
+	}
+	if *data != "" || *storeKind == store.KindMem {
 		var err error
-		st, err = store.Open(*data, store.Options{Obs: reg, NoMmap: !*mmapF})
+		st, err = store.OpenBackend(*storeKind, *data, store.Options{Obs: reg, NoMmap: !*mmapF})
 		if err != nil {
 			return fmt.Errorf("open store: %w", err)
 		}
@@ -176,8 +187,8 @@ func run() error {
 	// build). The engine is wired back in as the graph registrar below.
 	var cl *cluster.Cluster
 	if *clusterSelf != "" {
-		if st == nil {
-			return fmt.Errorf("cluster mode requires -data (peers pull records from the durable store)")
+		if st == nil || *data == "" {
+			return fmt.Errorf("cluster mode requires a durable -data store (peers pull records from it)")
 		}
 		var nodes []string
 		for _, n := range strings.Split(*clusterPeers, ",") {
@@ -294,8 +305,12 @@ func run() error {
 			return fmt.Errorf("warm start: %w", err)
 		}
 		ss := st.OpenStats()
-		log.Printf("locshortd: warm start from %s: %d graphs, %d shortcut records, %d job records in %d segments (%d bytes)",
-			st.Dir(), loaded, ss.Shortcuts, ss.Jobs, ss.Segments, ss.Bytes)
+		loc := st.Dir()
+		if loc == "" {
+			loc = "memory"
+		}
+		log.Printf("locshortd: warm start from %s store (%s): %d graphs, %d shortcut records, %d job records (%d bytes)",
+			*storeKind, loc, loaded, ss.Shortcuts, ss.Jobs, ss.Bytes)
 		if ss.CorruptSkipped > 0 || ss.TruncatedBytes > 0 {
 			log.Printf("locshortd: store repair on open: %d corrupt records skipped, %d bytes truncated",
 				ss.CorruptSkipped, ss.TruncatedBytes)

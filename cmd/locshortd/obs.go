@@ -38,7 +38,7 @@ type serverOptions struct {
 	cluster *cluster.Cluster
 	// store is the durable store behind the engine (nil without -data);
 	// the binary /v1/shortcuts path serves stored payloads straight from it.
-	store *store.Store
+	store store.Backend
 }
 
 // errStarting is the 503 body served on /v1/ routes before readiness.

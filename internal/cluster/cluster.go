@@ -53,7 +53,7 @@ type Config struct {
 	// requests stop paying the dead peer's connect latency.
 	DownBackoff time.Duration
 	// Store is the node's durable store; fetched records import into it.
-	Store *store.Store
+	Store store.Backend
 	// Obs, when non-nil, registers the cluster metric families.
 	Obs *obs.Registry
 	// Logger, when non-nil, receives forward/sync/drift log lines.
@@ -124,7 +124,7 @@ type Cluster struct {
 	self  string
 	peers []string // Nodes minus Self, sorted
 	hc    *http.Client
-	st    *store.Store
+	st    store.Backend
 	log   *obs.Logger
 
 	mu        sync.RWMutex

@@ -20,6 +20,10 @@ import (
 // (graph, partition, options). All methods must be safe for concurrent use;
 // the engine calls PutShortcut from detached goroutines and GetShortcut
 // from worker-pool jobs.
+//
+// This interface is one face of the full storage contract store.Backend;
+// the semantics every implementation must honor are documented there and
+// enforced by the internal/store/storetest conformance suite.
 type Store interface {
 	// PutGraph persists g under fp (a FingerprintGraph of g). Re-putting
 	// known content must be a cheap no-op.

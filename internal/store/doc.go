@@ -28,6 +28,16 @@
 // format comment in store.go and OPERATIONS.md for the operator runbook
 // (locshortctl ls / inspect / verify / gc).
 //
+// The full contract the layers above depend on is written down as the
+// Backend interface (backend.go) and enforced by the storetest
+// conformance suite (internal/store/storetest). Three implementations
+// pass it: the append-only segment store (Store, the reference and
+// default), the ephemeral in-memory backend (Mem), and the S3-style
+// object-directory tier (ObjDir, one atomically-written file per
+// record). OpenBackend selects among them — the daemons' -store flag.
+// Space reclamation is the optional Compactor capability, not part of
+// Backend. See DESIGN.md §11.
+//
 // # Role in the DAG
 //
 // Depends on internal/graph, internal/partition, internal/tree,

@@ -1,0 +1,587 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+	"io/fs"
+	"sort"
+	"sync"
+	"time"
+
+	"locshort/internal/graph"
+	"locshort/internal/jobs"
+	"locshort/internal/partition"
+	"locshort/internal/service"
+	"locshort/internal/shortcut"
+)
+
+// kvCore is the shared implementation behind the non-segment backends (Mem,
+// ObjDir): a live-record index keyed exactly like the segment store's,
+// layered over an abstract one-payload-per-record store. The payload
+// encodings are byte-identical to the segment store's record payloads, so
+// every backend is mutually interoperable at the peer-exchange layer and
+// verifiable by the same decoders; only durability and placement differ.
+//
+// Locking mirrors the segment store: writeMu serializes mutations and is
+// held across payload writes; mu guards the index and is held only for
+// short critical sections, so reads are never stalled behind persistence.
+// Lock order: writeMu before mu.
+type kvCore struct {
+	kind string // backend kind, for error messages
+
+	ps payloadStore
+
+	writeMu sync.Mutex
+
+	mu      sync.RWMutex
+	closed  bool
+	index   map[indexKey]kvMeta
+	byGraph map[service.Fingerprint]map[service.Fingerprint]struct{}
+	open    OpenStats // Open-time repair counters; record counts recomputed
+
+	perms permCache
+}
+
+// kvMeta is the index entry for one live record.
+type kvMeta struct {
+	size    int64
+	graphFP service.Fingerprint // shortcut records only
+	partFP  service.Fingerprint // shortcut records only
+}
+
+// payloadStore is where a kvCore backend keeps record payloads. put must be
+// atomic (a reader never observes a partial payload) and, for durable
+// implementations, crash-safe: after put returns nil the payload survives a
+// crash; after an error the record is either absent or the old version.
+// get for a key that was concurrently deleted may return fs.ErrNotExist;
+// kvCore treats that as a miss, never an error.
+type payloadStore interface {
+	put(kind byte, key service.Fingerprint, payload []byte) error
+	get(kind byte, key service.Fingerprint) ([]byte, error)
+	del(kind byte, key service.Fingerprint) error
+	close() error
+}
+
+func newKVCore(kind string, ps payloadStore) kvCore {
+	return kvCore{
+		kind:    kind,
+		ps:      ps,
+		index:   make(map[indexKey]kvMeta),
+		byGraph: make(map[service.Fingerprint]map[service.Fingerprint]struct{}),
+	}
+}
+
+// indexPutLocked installs a live record, newest-wins. Caller holds mu.
+func (c *kvCore) indexPutLocked(kind byte, key service.Fingerprint, meta kvMeta) {
+	ik := indexKey{kind: kind, key: key}
+	if old, ok := c.index[ik]; ok && kind == kindShortcut {
+		if deps := c.byGraph[old.graphFP]; deps != nil {
+			delete(deps, key)
+			if len(deps) == 0 {
+				delete(c.byGraph, old.graphFP)
+			}
+		}
+	}
+	c.index[ik] = meta
+	if kind == kindShortcut {
+		deps := c.byGraph[meta.graphFP]
+		if deps == nil {
+			deps = make(map[service.Fingerprint]struct{})
+			c.byGraph[meta.graphFP] = deps
+		}
+		deps[key] = struct{}{}
+	}
+}
+
+func (c *kvCore) has(kind byte, key service.Fingerprint) bool {
+	c.mu.RLock()
+	_, ok := c.index[indexKey{kind: kind, key: key}]
+	c.mu.RUnlock()
+	return ok
+}
+
+func (c *kvCore) errClosed() error { return fmt.Errorf("store: %s backend closed", c.kind) }
+
+// putRecord durably writes one record and installs it in the index. Caller
+// holds writeMu.
+func (c *kvCore) putRecord(kind byte, key service.Fingerprint, payload []byte) error {
+	c.mu.RLock()
+	closed := c.closed
+	c.mu.RUnlock()
+	if closed {
+		return c.errClosed()
+	}
+	meta := kvMeta{size: int64(len(payload))}
+	if kind == kindShortcut {
+		sm, err := parseShortcutMeta(payload)
+		if err != nil {
+			return err
+		}
+		meta.graphFP, meta.partFP = sm.graphFP, sm.partFP
+	}
+	if err := c.ps.put(kind, key, payload); err != nil {
+		return err
+	}
+	c.mu.Lock()
+	c.indexPutLocked(kind, key, meta)
+	c.mu.Unlock()
+	return nil
+}
+
+// payloadOf reads a live record's payload. A record deleted between the
+// index lookup and the payload read is a miss, not an error.
+func (c *kvCore) payloadOf(kind byte, key service.Fingerprint) ([]byte, bool, error) {
+	if !c.has(kind, key) {
+		return nil, false, nil
+	}
+	payload, err := c.ps.get(kind, key)
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil, false, nil
+	}
+	if err != nil {
+		return nil, false, err
+	}
+	return payload, true, nil
+}
+
+// PutGraph persists g under its content fingerprint; known content is a
+// cheap no-op. Implements service.Store.
+func (c *kvCore) PutGraph(fp service.Fingerprint, g *graph.Graph) error {
+	c.writeMu.Lock()
+	defer c.writeMu.Unlock()
+	if c.has(kindGraph, fp) {
+		return nil
+	}
+	return c.putRecord(kindGraph, fp, encodeGraph(g))
+}
+
+// PutGraphPayload persists an already-encoded canonical graph payload
+// verbatim under fp, verifying it first. Implements
+// service.GraphPayloadStore.
+func (c *kvCore) PutGraphPayload(fp service.Fingerprint, payload []byte) error {
+	if len(payload) < 1 || payload[0] != graphPayloadVersion {
+		return fmt.Errorf("store: graph %s: bad payload version", fp)
+	}
+	if got := service.FingerprintBytes(payload[1:]); got != fp {
+		return fmt.Errorf("store: graph %s: payload hashes to %s", fp, got)
+	}
+	c.writeMu.Lock()
+	defer c.writeMu.Unlock()
+	if c.has(kindGraph, fp) {
+		return nil
+	}
+	return c.putRecord(kindGraph, fp, append([]byte(nil), payload...))
+}
+
+// EachGraph decodes every live graph record, ascending by fingerprint.
+// Implements service.Store.
+func (c *kvCore) EachGraph(fn func(fp service.Fingerprint, g *graph.Graph) error) error {
+	for _, fp := range c.GraphFingerprints() {
+		payload, ok, err := c.payloadOf(kindGraph, fp)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			continue // deleted mid-iteration
+		}
+		g, err := decodeGraph(payload, fp)
+		if err != nil {
+			return err
+		}
+		if err := fn(fp, g); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// GetGraph decodes the live graph record for fp, if any.
+func (c *kvCore) GetGraph(fp service.Fingerprint) (*graph.Graph, bool, error) {
+	payload, ok, err := c.payloadOf(kindGraph, fp)
+	if err != nil || !ok {
+		return nil, false, err
+	}
+	g, err := decodeGraph(payload, fp)
+	if err != nil {
+		return nil, false, err
+	}
+	return g, true, nil
+}
+
+// GetPartition decodes the live partition record for fp against g.
+func (c *kvCore) GetPartition(fp service.Fingerprint, g *graph.Graph) (*partition.Partition, bool, error) {
+	payload, ok, err := c.payloadOf(kindPartition, fp)
+	if err != nil || !ok {
+		return nil, false, err
+	}
+	p, err := decodePartition(payload, fp, g)
+	if err != nil {
+		return nil, false, err
+	}
+	return p, true, nil
+}
+
+// PutShortcut persists the partition record (deduplicated) and the shortcut
+// record. A shortcut whose graph record is no longer live is silently
+// dropped — same no-resurrection semantics as the segment store. Implements
+// service.Store.
+func (c *kvCore) PutShortcut(key, graphFP service.Fingerprint, parts *partition.Partition,
+	opts shortcut.Options, res *shortcut.Result, buildTime time.Duration) error {
+
+	partFP := service.FingerprintPartition(parts)
+	payload := encodeShortcut(c.perms.get(res.Shortcut.G), graphFP, partFP, opts, res, buildTime)
+	c.writeMu.Lock()
+	defer c.writeMu.Unlock()
+	if !c.has(kindGraph, graphFP) || c.has(kindShortcut, key) {
+		return nil
+	}
+	if !c.has(kindPartition, partFP) {
+		if err := c.putRecord(kindPartition, partFP, encodePartition(parts)); err != nil {
+			return err
+		}
+	}
+	return c.putRecord(kindShortcut, key, payload)
+}
+
+// GetShortcut loads and reconstructs the shortcut stored under key against
+// the live representative g and the requested partition. Implements
+// service.Store.
+func (c *kvCore) GetShortcut(key service.Fingerprint, g *graph.Graph, parts *partition.Partition) (
+	*shortcut.Result, time.Duration, bool, error) {
+
+	payload, ok, err := c.payloadOf(kindShortcut, key)
+	if err != nil || !ok {
+		return nil, 0, false, err
+	}
+	res, bt, err := decodeShortcut(payload, key, c.perms.get(g), g, parts)
+	if err != nil {
+		return nil, 0, false, err
+	}
+	return res, bt, true, nil
+}
+
+// DeleteGraph removes the graph record for fp and every shortcut built on
+// it; deleting an absent graph is a no-op. Implements service.Store. The
+// index entries drop first (readers fall to a miss immediately), then the
+// payloads; a crash in between leaves orphans a durable backend sweeps on
+// its next Open.
+func (c *kvCore) DeleteGraph(fp service.Fingerprint) error {
+	c.writeMu.Lock()
+	defer c.writeMu.Unlock()
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return c.errClosed()
+	}
+	_, haveGraph := c.index[indexKey{kind: kindGraph, key: fp}]
+	deps := c.byGraph[fp]
+	if !haveGraph && len(deps) == 0 {
+		c.mu.Unlock()
+		return nil
+	}
+	keys := make([]service.Fingerprint, 0, len(deps))
+	for key := range deps {
+		keys = append(keys, key)
+		delete(c.index, indexKey{kind: kindShortcut, key: key})
+	}
+	delete(c.byGraph, fp)
+	delete(c.index, indexKey{kind: kindGraph, key: fp})
+	c.mu.Unlock()
+	// Graph payload first: once it is gone, a crash leaves dependent
+	// shortcut payloads orphaned, which reopen detects and sweeps — the
+	// reverse order could leave a graph whose shortcuts silently vanished.
+	var first error
+	if err := c.ps.del(kindGraph, fp); err != nil && first == nil {
+		first = err
+	}
+	for _, key := range keys {
+		if err := c.ps.del(kindShortcut, key); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// PutJob durably writes (or supersedes) an async job record under its job
+// ID. Implements jobs.Store.
+func (c *kvCore) PutJob(id uint64, payload []byte) error {
+	c.writeMu.Lock()
+	defer c.writeMu.Unlock()
+	return c.putRecord(kindJob, service.Fingerprint(id), append([]byte(nil), payload...))
+}
+
+// GetJob returns the live job record payload for id, if any. Implements
+// jobs.Store.
+func (c *kvCore) GetJob(id uint64) ([]byte, bool, error) {
+	return c.payloadOf(kindJob, service.Fingerprint(id))
+}
+
+// EachJob calls fn for every live job record, ascending by ID. Implements
+// jobs.Store.
+func (c *kvCore) EachJob(fn func(id uint64, payload []byte) error) error {
+	c.mu.RLock()
+	ids := make([]service.Fingerprint, 0, 8)
+	for ik := range c.index {
+		if ik.kind == kindJob {
+			ids = append(ids, ik.key)
+		}
+	}
+	c.mu.RUnlock()
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		payload, ok, err := c.payloadOf(kindJob, id)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			continue
+		}
+		if err := fn(uint64(id), payload); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// HasShortcut reports whether a live shortcut record exists for key.
+func (c *kvCore) HasShortcut(key service.Fingerprint) bool { return c.has(kindShortcut, key) }
+
+// GraphKnown reports whether a live graph record exists for fp.
+func (c *kvCore) GraphKnown(fp service.Fingerprint) bool { return c.has(kindGraph, fp) }
+
+// GraphPayload returns the raw graph record payload for fp.
+func (c *kvCore) GraphPayload(fp service.Fingerprint) ([]byte, bool, error) {
+	return c.payloadOf(kindGraph, fp)
+}
+
+// ShortcutPayload returns the raw shortcut record payload for key.
+func (c *kvCore) ShortcutPayload(key service.Fingerprint) ([]byte, bool, error) {
+	return c.payloadOf(kindShortcut, key)
+}
+
+// ShortcutRecord assembles the PeerRecord for key (see PeerStore).
+func (c *kvCore) ShortcutRecord(key service.Fingerprint) (PeerRecord, bool, error) {
+	var rec PeerRecord
+	c.mu.RLock()
+	meta, ok := c.index[indexKey{kind: kindShortcut, key: key}]
+	c.mu.RUnlock()
+	if !ok {
+		return rec, false, nil
+	}
+	rec.Key, rec.GraphFP, rec.PartitionFP = key, meta.graphFP, meta.partFP
+	var err error
+	var found bool
+	if rec.ShortcutPayload, found, err = c.payloadOf(kindShortcut, key); err != nil || !found {
+		return rec, false, err
+	}
+	if rec.GraphPayload, found, err = c.payloadOf(kindGraph, meta.graphFP); err != nil {
+		return rec, false, err
+	} else if !found {
+		return rec, false, fmt.Errorf("store: shortcut %s references missing graph %s", key, meta.graphFP)
+	}
+	if rec.PartitionPayload, found, err = c.payloadOf(kindPartition, meta.partFP); err != nil {
+		return rec, false, err
+	} else if !found {
+		return rec, false, fmt.Errorf("store: shortcut %s references missing partition %s", key, meta.partFP)
+	}
+	return rec, true, nil
+}
+
+// ShortcutInventory lists the live shortcut records on the arc (lo, hi].
+func (c *kvCore) ShortcutInventory(lo, hi uint64) []InventoryEntry {
+	c.mu.RLock()
+	out := make([]InventoryEntry, 0, 64)
+	for ik, meta := range c.index {
+		if ik.kind != kindShortcut || !inRange(uint64(ik.key), lo, hi) {
+			continue
+		}
+		out = append(out, InventoryEntry{Key: ik.key, GraphFP: meta.graphFP, PartitionFP: meta.partFP})
+	}
+	c.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out
+}
+
+// GraphFingerprints lists the live graph record keys, sorted.
+func (c *kvCore) GraphFingerprints() []service.Fingerprint {
+	c.mu.RLock()
+	out := make([]service.Fingerprint, 0, 8)
+	for ik := range c.index {
+		if ik.kind == kindGraph {
+			out = append(out, ik.key)
+		}
+	}
+	c.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// ImportShortcut verifies rec end to end and installs the records this
+// backend is missing (see PeerStore).
+func (c *kvCore) ImportShortcut(rec PeerRecord) (*graph.Graph, bool, error) {
+	g, _, _, _, err := VerifyPeerRecord(rec)
+	if err != nil {
+		return nil, false, err
+	}
+	c.writeMu.Lock()
+	defer c.writeMu.Unlock()
+	if c.has(kindShortcut, rec.Key) {
+		return g, false, nil
+	}
+	if !c.has(kindGraph, rec.GraphFP) {
+		if err := c.putRecord(kindGraph, rec.GraphFP, rec.GraphPayload); err != nil {
+			return g, false, err
+		}
+	}
+	if !c.has(kindPartition, rec.PartitionFP) {
+		if err := c.putRecord(kindPartition, rec.PartitionFP, rec.PartitionPayload); err != nil {
+			return g, false, err
+		}
+	}
+	if err := c.putRecord(kindShortcut, rec.Key, rec.ShortcutPayload); err != nil {
+		return g, false, err
+	}
+	return g, true, nil
+}
+
+// Records lists the live records sorted by kind then key.
+func (c *kvCore) Records() []RecordInfo {
+	c.mu.RLock()
+	out := make([]RecordInfo, 0, len(c.index))
+	for ik, meta := range c.index {
+		out = append(out, RecordInfo{
+			Kind:        kindName(ik.kind),
+			Key:         ik.key,
+			Bytes:       meta.size,
+			GraphFP:     meta.graphFP,
+			PartitionFP: meta.partFP,
+		})
+	}
+	c.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Kind != out[j].Kind {
+			return out[i].Kind < out[j].Kind
+		}
+		return out[i].Key < out[j].Key
+	})
+	return out
+}
+
+// OpenStats reports live record counts and payload footprint.
+func (c *kvCore) OpenStats() OpenStats {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	st := c.open
+	st.Graphs, st.Partitions, st.Shortcuts, st.Jobs, st.Bytes = 0, 0, 0, 0, 0
+	for ik, meta := range c.index {
+		st.Bytes += meta.size
+		switch ik.kind {
+		case kindGraph:
+			st.Graphs++
+		case kindPartition:
+			st.Partitions++
+		case kindShortcut:
+			st.Shortcuts++
+		case kindJob:
+			st.Jobs++
+		}
+	}
+	return st
+}
+
+// Verify re-reads and fully decodes every live record — the same structural
+// and content-hash checks the segment store's Verify performs, minus the
+// frame CRC (kv backends have no frames; graph and partition payloads are
+// self-verifying, shortcut keys re-derive, job records must decode and
+// agree with their key).
+func (c *kvCore) Verify() []Problem {
+	var problems []Problem
+	bad := func(kind string, key service.Fingerprint, err error) {
+		problems = append(problems, Problem{Kind: kind, Key: key, Err: err})
+	}
+	graphs := make(map[service.Fingerprint]*graph.Graph)
+	for _, r := range c.Records() {
+		var kind byte
+		switch r.Kind {
+		case "graph":
+			kind = kindGraph
+		case "partition":
+			kind = kindPartition
+		case "shortcut":
+			kind = kindShortcut
+		case "job":
+			kind = kindJob
+		}
+		payload, ok, err := c.payloadOf(kind, r.Key)
+		if err != nil {
+			bad(r.Kind, r.Key, err)
+			continue
+		}
+		if !ok {
+			continue // deleted mid-verify
+		}
+		switch kind {
+		case kindGraph:
+			g, err := decodeGraph(payload, r.Key)
+			if err != nil {
+				bad(r.Kind, r.Key, err)
+				continue
+			}
+			if err := g.Validate(); err != nil {
+				bad(r.Kind, r.Key, err)
+				continue
+			}
+			graphs[r.Key] = g
+		case kindPartition:
+			if len(payload) < 1 || payload[0] != partitionPayloadVersion {
+				bad(r.Kind, r.Key, fmt.Errorf("bad payload version"))
+			} else if got := service.FingerprintBytes(payload[1:]); got != r.Key {
+				bad(r.Kind, r.Key, fmt.Errorf("content hash mismatch"))
+			}
+		case kindShortcut:
+			g, ok := graphs[r.GraphFP]
+			if !ok {
+				bad(r.Kind, r.Key, fmt.Errorf("references missing graph %s", r.GraphFP))
+				continue
+			}
+			ppay, found, err := c.payloadOf(kindPartition, r.PartitionFP)
+			if err != nil || !found {
+				bad(r.Kind, r.Key, fmt.Errorf("references missing partition %s (err=%v)", r.PartitionFP, err))
+				continue
+			}
+			parts, err := decodePartition(ppay, r.PartitionFP, g)
+			if err != nil {
+				bad(r.Kind, r.Key, err)
+				continue
+			}
+			if _, _, err := decodeShortcut(payload, r.Key, c.perms.get(g), g, parts); err != nil {
+				bad(r.Kind, r.Key, err)
+			}
+		case kindJob:
+			rec, err := jobs.DecodeRecord(payload)
+			if err != nil {
+				bad(r.Kind, r.Key, err)
+				continue
+			}
+			if uint64(rec.ID) != uint64(r.Key) {
+				bad(r.Kind, r.Key, fmt.Errorf("record claims job id %s", rec.ID))
+			}
+		}
+	}
+	return problems
+}
+
+// Close marks the backend closed (writes fail, reads miss) and releases the
+// payload store.
+func (c *kvCore) Close() error {
+	c.writeMu.Lock()
+	defer c.writeMu.Unlock()
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	c.mu.Unlock()
+	return c.ps.close()
+}

@@ -54,6 +54,7 @@ import (
 const (
 	segMagic     = "LSSTOR01"
 	frameHdrSize = 17
+	gcTmpName    = "gc.seg.tmp"
 
 	kindGraph     = 'G'
 	kindPartition = 'P'
@@ -93,11 +94,20 @@ type Options struct {
 	// rotation counters, and func-backed gauges over OpenStats (segments,
 	// bytes, live records by kind) read at scrape time.
 	Obs *obs.Registry
+	// FS substitutes the filesystem every file operation goes through
+	// (default: the real one). The storetest conformance suite injects
+	// faults — short writes, failed fsyncs, failed renames, crash
+	// schedules — through this seam. A non-os FS disables mmap (sealed
+	// segments stay on the pread path, so reads remain observable).
+	FS FS
 }
 
 func (o Options) withDefaults() Options {
 	if o.SegmentBytes <= 0 {
 		o.SegmentBytes = 64 << 20
+	}
+	if o.FS == nil {
+		o.FS = osFS{}
 	}
 	return o
 }
@@ -138,7 +148,7 @@ type recordRef struct {
 
 type segment struct {
 	seq  int
-	f    *os.File
+	f    File
 	size int64
 	// data is the read-only memory mapping of a sealed segment; nil keeps
 	// the segment on the pread path (active tail, Options.NoMmap, mmap
@@ -154,6 +164,7 @@ type segment struct {
 type Store struct {
 	dir  string
 	opts Options
+	fs   FS
 
 	// writeMu serializes all mutations (appends, deletes, GC, Close) and
 	// is held across disk writes and fsyncs. mu guards the in-memory
@@ -175,24 +186,46 @@ type Store struct {
 	// are not.
 	retired [][]byte
 
-	// perms memoizes canonical edge permutations per graph *instance* —
-	// deliberately not per fingerprint: two representations of the same
-	// content (a live representative and its canonical decode, or a
-	// re-ingest after DeleteGraph with a different edge order) share a
-	// fingerprint but need different permutations, and a fingerprint key
-	// would silently serve the wrong one. The map is cleared past a size
-	// bound so transient graphs (Verify decodes) cannot grow it forever.
-	permMu sync.Mutex
-	perms  map[*graph.Graph]*edgePerm
+	// perms memoizes canonical edge permutations (see permCache).
+	perms permCache
 
 	// metrics is nil unless Options.Obs was set.
 	metrics *storeMetrics
+}
+
+// permCache memoizes canonical edge permutations per graph *instance* —
+// deliberately not per fingerprint: two representations of the same
+// content (a live representative and its canonical decode, or a re-ingest
+// after DeleteGraph with a different edge order) share a fingerprint but
+// need different permutations, and a fingerprint key would silently serve
+// the wrong one. The map is cleared past a size bound so transient graphs
+// (Verify decodes) cannot grow it forever. Shared by every backend that
+// translates shortcut payloads.
+type permCache struct {
+	mu sync.Mutex
+	m  map[*graph.Graph]*edgePerm
 }
 
 // permCacheLimit bounds the perm memo; engines pin far fewer
 // representatives than this, so clearing only ever drops transient
 // entries.
 const permCacheLimit = 256
+
+// get returns the memoized canonical edge permutation for this exact graph
+// instance.
+func (pc *permCache) get(g *graph.Graph) *edgePerm {
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	p := pc.m[g]
+	if p == nil {
+		if pc.m == nil || len(pc.m) >= permCacheLimit {
+			pc.m = make(map[*graph.Graph]*edgePerm)
+		}
+		p = newEdgePerm(g)
+		pc.m[g] = p
+	}
+	return p
+}
 
 var (
 	_ service.Store = (*Store)(nil)
@@ -203,18 +236,22 @@ var (
 // every segment into the in-memory index and repairing a torn tail.
 func Open(dir string, opts Options) (*Store, error) {
 	opts = opts.withDefaults()
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	if err := opts.FS.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
 	}
 	s := &Store{
 		dir:     dir,
 		opts:    opts,
+		fs:      opts.FS,
 		segs:    make(map[int]*segment),
 		index:   make(map[indexKey]recordRef),
 		byGraph: make(map[service.Fingerprint]map[service.Fingerprint]struct{}),
-		perms:   make(map[*graph.Graph]*edgePerm),
 	}
-	seqs, err := listSegments(dir)
+	// A gc.seg.tmp left by a GC that crashed before its rename is dead
+	// weight — replay ignores the name, so without this sweep it would
+	// leak disk forever.
+	s.fs.Remove(filepath.Join(dir, gcTmpName))
+	seqs, err := listSegments(s.fs, dir)
 	if err != nil {
 		return nil, err
 	}
@@ -256,8 +293,8 @@ func Open(dir string, opts Options) (*Store, error) {
 }
 
 // listSegments returns the segment sequence numbers in dir, ascending.
-func listSegments(dir string) ([]int, error) {
-	entries, err := os.ReadDir(dir)
+func listSegments(fs FS, dir string) ([]int, error) {
+	entries, err := fs.ReadDir(dir)
 	if err != nil {
 		return nil, err
 	}
@@ -281,20 +318,27 @@ func (s *Store) segPath(seq int) string { return filepath.Join(s.dir, segName(se
 // Caller holds writeMu (or is Open's single-threaded setup); the brief
 // index-map mutation takes mu itself.
 func (s *Store) startSegment(seq int) error {
-	f, err := os.OpenFile(s.segPath(seq), os.O_RDWR|os.O_CREATE|os.O_EXCL, 0o644)
+	f, err := s.fs.OpenFile(s.segPath(seq), os.O_RDWR|os.O_CREATE|os.O_EXCL, 0o644)
 	if err != nil {
 		return err
 	}
-	if _, err := f.Write([]byte(segMagic)); err != nil {
+	// On any failure past creation the file must be removed: it was
+	// created with O_EXCL, so leaving a husk behind would wedge every
+	// rotation retry with EEXIST even after the underlying fault clears
+	// (a real bug the errfs fault suite shook out).
+	fail := func(err error) error {
 		f.Close()
+		s.fs.Remove(s.segPath(seq))
 		return err
+	}
+	if _, err := f.Write([]byte(segMagic)); err != nil {
+		return fail(err)
 	}
 	if !s.opts.NoSync {
 		if err := f.Sync(); err != nil {
-			f.Close()
-			return err
+			return fail(err)
 		}
-		syncDir(s.dir)
+		s.fs.SyncDir(s.dir)
 	}
 	seg := &segment{seq: seq, f: f, size: int64(len(segMagic))}
 	s.mu.Lock()
@@ -312,32 +356,28 @@ func (s *Store) startSegment(seq int) error {
 }
 
 // mapSealedLocked attaches a read-only memory mapping to a sealed segment.
-// Failure — including an unsupported platform — is not an error: the
-// segment just stays on the pread fallback. Caller holds mu (or is Open's
-// single-threaded setup) and must never map the active segment, because the
-// mapping length is fixed at the segment's current size.
+// Failure — including an unsupported platform, or a segment file that is
+// not a plain *os.File because an FS shim is injected — is not an error:
+// the segment just stays on the pread fallback. Caller holds mu (or is
+// Open's single-threaded setup) and must never map the active segment,
+// because the mapping length is fixed at the segment's current size.
 func (s *Store) mapSealedLocked(seg *segment) {
 	if s.opts.NoMmap || seg.data != nil || seg.size <= 0 {
 		return
 	}
-	if data, err := mmapFile(seg.f, seg.size); err == nil {
-		seg.data = data
+	osf, ok := seg.f.(*os.File)
+	if !ok {
+		return
 	}
-}
-
-// syncDir best-effort fsyncs a directory so created/renamed files are
-// durable; not all platforms support it, so errors are ignored.
-func syncDir(dir string) {
-	if d, err := os.Open(dir); err == nil {
-		d.Sync()
-		d.Close()
+	if data, err := mmapFile(osf, seg.size); err == nil {
+		seg.data = data
 	}
 }
 
 // replaySegment reads one segment into the index, truncating a torn tail
 // and skipping checksum-corrupt records.
 func (s *Store) replaySegment(seq int) error {
-	f, err := os.OpenFile(s.segPath(seq), os.O_RDWR, 0)
+	f, err := s.fs.OpenFile(s.segPath(seq), os.O_RDWR, 0)
 	if err != nil {
 		return err
 	}
@@ -668,19 +708,7 @@ func (s *Store) checkFrame(ref recordRef) error {
 
 // perm returns the memoized canonical edge permutation for this exact
 // graph instance.
-func (s *Store) perm(g *graph.Graph) *edgePerm {
-	s.permMu.Lock()
-	defer s.permMu.Unlock()
-	p := s.perms[g]
-	if p == nil {
-		if len(s.perms) >= permCacheLimit {
-			s.perms = make(map[*graph.Graph]*edgePerm)
-		}
-		p = newEdgePerm(g)
-		s.perms[g] = p
-	}
-	return p
-}
+func (s *Store) perm(g *graph.Graph) *edgePerm { return s.perms.get(g) }
 
 // has reports whether a live record exists. Caller may hold writeMu; mu is
 // taken briefly.
@@ -1139,12 +1167,12 @@ func (s *Store) GC() (GCStats, error) {
 			nextSeq = seq + 1
 		}
 	}
-	tmpPath := filepath.Join(s.dir, "gc.seg.tmp")
-	tmp, err := os.OpenFile(tmpPath, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	tmpPath := filepath.Join(s.dir, gcTmpName)
+	tmp, err := s.fs.OpenFile(tmpPath, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
 	if err != nil {
 		return st, err
 	}
-	defer os.Remove(tmpPath)
+	defer s.fs.Remove(tmpPath)
 	if _, err := tmp.Write([]byte(segMagic)); err != nil {
 		tmp.Close()
 		return st, err
@@ -1180,11 +1208,11 @@ func (s *Store) GC() (GCStats, error) {
 	for _, seg := range s.segs {
 		oldBytes += seg.size
 	}
-	if err := os.Rename(tmpPath, s.segPath(nextSeq)); err != nil {
+	if err := s.fs.Rename(tmpPath, s.segPath(nextSeq)); err != nil {
 		tmp.Close()
 		return st, err
 	}
-	syncDir(s.dir)
+	s.fs.SyncDir(s.dir)
 	// Point of no return: the compacted segment is durable. Retire the
 	// old files and swap the index over. Mappings of the deleted segments
 	// move to the graveyard instead of being unmapped: concurrent readers
@@ -1196,10 +1224,10 @@ func (s *Store) GC() (GCStats, error) {
 			seg.data = nil
 		}
 		seg.f.Close()
-		os.Remove(s.segPath(seq))
+		s.fs.Remove(s.segPath(seq))
 		delete(s.segs, seq)
 	}
-	syncDir(s.dir)
+	s.fs.SyncDir(s.dir)
 	newSeg := &segment{seq: nextSeq, f: tmp, size: off}
 	s.segs[nextSeq] = newSeg
 	s.active = newSeg

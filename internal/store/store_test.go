@@ -263,7 +263,7 @@ func writeFixture(t *testing.T, dir string) (key, fpA, fpB service.Fingerprint) 
 
 func segFiles(t *testing.T, dir string) []string {
 	t.Helper()
-	seqs, err := listSegments(dir)
+	seqs, err := listSegments(osFS{}, dir)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -502,7 +502,7 @@ func TestSegmentRotation(t *testing.T) {
 		want[fp] = true
 	}
 	s.Close()
-	segs, _ := listSegments(dir)
+	segs, _ := listSegments(osFS{}, dir)
 	if len(segs) < 3 {
 		t.Fatalf("rotation produced %d segments, want >= 3", len(segs))
 	}

@@ -1,0 +1,241 @@
+// Package errfs is a fault-injecting store.FS for crash-consistency and
+// error-path testing. It delegates to the real filesystem but consults a
+// hook before every operation that could mutate durable state, letting a
+// test fail a specific fsync, tear a specific write short, fail a rename,
+// or simulate a crash at the Nth mutation — after which every further
+// mutation fails while reads keep working, so the test can observe the
+// wreckage exactly as a post-crash reopen would find it.
+//
+// Injection is keyed by a deterministic operation counter: mutating
+// operations are numbered 1, 2, 3, ... in the order the backend issues
+// them, so "crash at op N" schedules are reproducible and a loop over N
+// explores every crash point of a workload.
+package errfs
+
+import (
+	"errors"
+	"os"
+	"sync"
+	"sync/atomic"
+
+	"locshort/internal/store"
+)
+
+// ErrInjected is the error returned by injected faults (unless the hook
+// supplies its own).
+var ErrInjected = errors.New("errfs: injected fault")
+
+// ErrCrashed is returned by every mutating operation after Crash.
+var ErrCrashed = errors.New("errfs: simulated crash")
+
+// Op describes one counted (potentially mutating) filesystem operation.
+type Op struct {
+	// N is the 1-based sequence number of this operation.
+	N int
+	// Kind is one of "create", "open-rw", "write", "sync", "truncate",
+	// "rename", "remove", "mkdir", "syncdir".
+	Kind string
+	// Path is the file the operation targets.
+	Path string
+}
+
+// Fault is a hook's verdict on one operation. The zero value lets the
+// operation through.
+type Fault struct {
+	// Err, when non-nil, is returned from the operation (which does not
+	// run, except for the Partial prefix of a write).
+	Err error
+	// Partial, for "write" ops with Err set, writes this many bytes of the
+	// payload through to the file before failing — a torn write.
+	Partial int
+}
+
+// FS implements store.FS over the real filesystem with fault injection.
+// Safe for concurrent use.
+type FS struct {
+	mu   sync.Mutex
+	n    int
+	hook func(Op) Fault
+	// crashed is atomic, not mu-guarded, so a hook (which runs under mu)
+	// can call Crash without deadlocking.
+	crashed atomic.Bool
+}
+
+// New returns an FS with no faults armed.
+func New() *FS { return &FS{} }
+
+// SetHook installs the injection hook, called with every counted operation.
+func (f *FS) SetHook(hook func(Op) Fault) {
+	f.mu.Lock()
+	f.hook = hook
+	f.mu.Unlock()
+}
+
+// FailOp arms a single fault: counted operation n (of the given kind, or
+// any kind if kind is "") fails with ErrInjected.
+func (f *FS) FailOp(n int, kind string) {
+	f.SetHook(func(op Op) Fault {
+		if op.N == n && (kind == "" || op.Kind == kind) {
+			return Fault{Err: ErrInjected}
+		}
+		return Fault{}
+	})
+}
+
+// FailNextKind arms a fault against the next operation of the given kind.
+func (f *FS) FailNextKind(kind string) {
+	var once sync.Once
+	f.SetHook(func(op Op) Fault {
+		var fault Fault
+		if op.Kind == kind {
+			once.Do(func() { fault = Fault{Err: ErrInjected} })
+		}
+		return fault
+	})
+}
+
+// CrashAtOp arms a simulated crash: counted operation n fails and every
+// mutating operation after it fails with ErrCrashed.
+func (f *FS) CrashAtOp(n int) {
+	f.SetHook(func(op Op) Fault {
+		if op.N >= n {
+			f.Crash()
+			return Fault{Err: ErrCrashed}
+		}
+		return Fault{}
+	})
+}
+
+// Crash makes every subsequent mutating operation fail with ErrCrashed.
+// Reads keep working: data already on disk is exactly what a reopen will
+// find. Safe to call from inside a hook.
+func (f *FS) Crash() { f.crashed.Store(true) }
+
+// Ops returns how many counted operations have been issued.
+func (f *FS) Ops() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.n
+}
+
+// begin counts one operation and returns the armed fault, if any.
+func (f *FS) begin(kind, path string) Fault {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.crashed.Load() {
+		return Fault{Err: ErrCrashed}
+	}
+	f.n++
+	if f.hook != nil {
+		return f.hook(Op{N: f.n, Kind: kind, Path: path})
+	}
+	return Fault{}
+}
+
+func (f *FS) OpenFile(name string, flag int, perm os.FileMode) (store.File, error) {
+	if flag&(os.O_WRONLY|os.O_RDWR|os.O_CREATE|os.O_TRUNC|os.O_APPEND) != 0 {
+		kind := "open-rw"
+		if flag&os.O_CREATE != 0 {
+			kind = "create"
+		}
+		if fault := f.begin(kind, name); fault.Err != nil {
+			return nil, fault.Err
+		}
+	}
+	osf, err := os.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return &file{f: osf, fs: f}, nil
+}
+
+func (f *FS) ReadDir(name string) ([]os.DirEntry, error) { return os.ReadDir(name) }
+
+func (f *FS) Rename(oldpath, newpath string) error {
+	if fault := f.begin("rename", newpath); fault.Err != nil {
+		return fault.Err
+	}
+	return os.Rename(oldpath, newpath)
+}
+
+func (f *FS) Remove(name string) error {
+	if fault := f.begin("remove", name); fault.Err != nil {
+		return fault.Err
+	}
+	return os.Remove(name)
+}
+
+func (f *FS) MkdirAll(path string, perm os.FileMode) error {
+	if fault := f.begin("mkdir", path); fault.Err != nil {
+		return fault.Err
+	}
+	return os.MkdirAll(path, perm)
+}
+
+func (f *FS) SyncDir(dir string) error {
+	if fault := f.begin("syncdir", dir); fault.Err != nil {
+		return fault.Err
+	}
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// file wraps an *os.File, routing mutations through the parent's hook.
+// Reads pass through uncounted (and survive a crash — the bytes are on
+// disk). Because it is not an *os.File, the segment store keeps sealed
+// segments on the pread path instead of mmapping them, so every read stays
+// observable too.
+type file struct {
+	f  *os.File
+	fs *FS
+}
+
+func (w *file) Read(p []byte) (int, error)              { return w.f.Read(p) }
+func (w *file) ReadAt(p []byte, off int64) (int, error) { return w.f.ReadAt(p, off) }
+func (w *file) Stat() (os.FileInfo, error)              { return w.f.Stat() }
+func (w *file) Close() error                            { return w.f.Close() }
+
+func (w *file) Write(p []byte) (int, error) {
+	if fault := w.fs.begin("write", w.f.Name()); fault.Err != nil {
+		n := 0
+		if fault.Partial > 0 && fault.Partial < len(p) {
+			n, _ = w.f.Write(p[:fault.Partial])
+		}
+		return n, fault.Err
+	}
+	return w.f.Write(p)
+}
+
+func (w *file) WriteAt(p []byte, off int64) (int, error) {
+	if fault := w.fs.begin("write", w.f.Name()); fault.Err != nil {
+		n := 0
+		if fault.Partial > 0 && fault.Partial < len(p) {
+			n, _ = w.f.WriteAt(p[:fault.Partial], off)
+		}
+		return n, fault.Err
+	}
+	return w.f.WriteAt(p, off)
+}
+
+func (w *file) Sync() error {
+	if fault := w.fs.begin("sync", w.f.Name()); fault.Err != nil {
+		return fault.Err
+	}
+	return w.f.Sync()
+}
+
+func (w *file) Truncate(size int64) error {
+	if fault := w.fs.begin("truncate", w.f.Name()); fault.Err != nil {
+		return fault.Err
+	}
+	return w.f.Truncate(size)
+}
+
+var _ store.FS = (*FS)(nil)
