@@ -88,7 +88,10 @@ var perfFamilySpecs = []string{"grid:64x64", "torus:32x32", "ktree:600,4"}
 
 // BenchmarkBuild measures the full Theorem 3.1 construction (doubling
 // search included) on a reused Builder — the service layer's cold-build
-// configuration.
+// configuration. Marked //locshort:hotpath so the CI bench smoke reports
+// its allocs/op (it drives the Builder's hotpath-annotated stage funcs).
+//
+//locshort:hotpath
 func BenchmarkBuild(b *testing.B) {
 	for _, spec := range perfFamilySpecs {
 		b.Run(spec, func(b *testing.B) {
@@ -125,6 +128,8 @@ func BenchmarkBuildReference(b *testing.B) {
 
 // BenchmarkMeasure measures shortcut quality measurement (congestion,
 // dilation, blocks) on a prebuilt shortcut.
+//
+//locshort:hotpath
 func BenchmarkMeasure(b *testing.B) {
 	for _, spec := range perfFamilySpecs {
 		b.Run(spec, func(b *testing.B) {

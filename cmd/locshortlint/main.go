@@ -1,0 +1,82 @@
+// Command locshortlint is the repo's invariant checker: a multichecker
+// driver for the internal/analysis suite. It loads the packages matched
+// by its arguments (default ./...), applies every analyzer, and prints
+// vet-style file:line:col diagnostics, exiting nonzero when any fire.
+//
+// Usage:
+//
+//	locshortlint [-list] [-run name,name] [packages]
+//
+// CI runs `go run ./cmd/locshortlint ./...` in the same matrix as gofmt
+// and go vet; a violation fails the build. Audited exceptions are
+// annotated in source with //locshort:*-ok escape comments (see
+// internal/analysis and DESIGN.md §12), never silenced here.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"locshort/internal/analysis"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list analyzers and exit")
+	run := flag.String("run", "", "comma-separated analyzer names to run (default: all)")
+	flag.Parse()
+
+	analyzers := analysis.All()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+	if *run != "" {
+		keep := make(map[string]bool)
+		for _, name := range strings.Split(*run, ",") {
+			keep[strings.TrimSpace(name)] = true
+		}
+		var filtered []*analysis.Analyzer
+		for _, a := range analyzers {
+			if keep[a.Name] {
+				filtered = append(filtered, a)
+				delete(keep, a.Name)
+			}
+		}
+		for name := range keep {
+			fmt.Fprintf(os.Stderr, "locshortlint: unknown analyzer %q\n", name)
+			os.Exit(1)
+		}
+		analyzers = filtered
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := analysis.LoadPackages(".", patterns...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "locshortlint: %v\n", err)
+		os.Exit(1)
+	}
+	bad := false
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			diags, err := analysis.RunAnalyzer(a, pkg)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "locshortlint: %s: %v\n", pkg.ImportPath, err)
+				os.Exit(1)
+			}
+			for _, d := range diags {
+				bad = true
+				fmt.Printf("%s: %s (%s)\n", pkg.Fset.Position(d.Pos), d.Message, a.Name)
+			}
+		}
+	}
+	if bad {
+		os.Exit(2)
+	}
+}

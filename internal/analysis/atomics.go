@@ -1,0 +1,112 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// EscapeNonatomic is the audited-exception comment for the atomics
+// analyzer (e.g. reads inside a constructor before the value is
+// published).
+const EscapeNonatomic = "nonatomic-ok"
+
+// Atomics enforces all-or-nothing atomicity per field: any struct field
+// or package variable that is ever passed to a sync/atomic function must
+// be accessed through sync/atomic everywhere. Mixing `atomic.AddUint64(
+// &s.n, 1)` with a plain `s.n` read is a data race even when it happens
+// to survive the race detector's schedule — the class of request-path
+// race PR 5 fixed by hand. (Typed atomics — atomic.Uint64 fields — are
+// immune by construction and are the preferred fix.)
+var Atomics = &Analyzer{
+	Name: "atomics",
+	Doc: "flag non-atomic accesses to fields and variables that are " +
+		"accessed via sync/atomic elsewhere in the package",
+	Run: runAtomics,
+}
+
+func runAtomics(pass *Pass) (any, error) {
+	// Pass A: objects whose address is taken inside a sync/atomic call,
+	// and the exact AST nodes of those sanctioned accesses.
+	atomicObjs := make(map[types.Object]string) // object -> example func name
+	sanctioned := make(map[ast.Node]bool)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := funcObj(pass.TypesInfo, call)
+			if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+				return true
+			}
+			for _, arg := range call.Args {
+				un, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+				if !ok || un.Op.String() != "&" {
+					continue
+				}
+				obj := referencedObj(pass.TypesInfo, un.X)
+				if obj == nil {
+					continue
+				}
+				if _, seen := atomicObjs[obj]; !seen {
+					atomicObjs[obj] = "atomic." + fn.Name()
+				}
+				sanctioned[ast.Unparen(un.X)] = true
+			}
+			return true
+		})
+	}
+	if len(atomicObjs) == 0 {
+		return nil, nil
+	}
+	// Pass B: every other access to those objects is a race.
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			if sanctioned[n] {
+				return false
+			}
+			e, isExpr := n.(ast.Expr)
+			if !isExpr {
+				return true
+			}
+			obj := referencedObj(pass.TypesInfo, e)
+			if obj == nil {
+				return true
+			}
+			if via, isAtomic := atomicObjs[obj]; isAtomic {
+				pass.Report(e.Pos(), EscapeNonatomic,
+					"%s is accessed with %s elsewhere in this package; this plain access races with it",
+					obj.Name(), via)
+				return false
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// referencedObj resolves the variable an expression names: a struct field
+// for selectors, a package-level or local variable for identifiers.
+// Returns nil for anything else (calls, index expressions, ...).
+func referencedObj(info *types.Info, e ast.Expr) types.Object {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[e]; ok && sel.Kind() == types.FieldVal {
+			return sel.Obj()
+		}
+		// Qualified package identifier (pkg.Var).
+		if obj, ok := info.Uses[e.Sel].(*types.Var); ok {
+			return obj
+		}
+	case *ast.Ident:
+		if obj, ok := info.Uses[e].(*types.Var); ok {
+			// Only variables with package-wide visibility are shared
+			// state; function locals get a pass unless they are fields
+			// (handled above).
+			if obj.Parent() == nil || obj.Parent() == obj.Pkg().Scope() || obj.IsField() {
+				return obj
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,57 @@
+package analysis
+
+import (
+	"go/ast"
+)
+
+// EscapeUnchecked is the audited-exception comment for the checkederr
+// analyzer.
+const EscapeUnchecked = "unchecked-ok"
+
+// checkedNames are the method/function names whose dropped errors have
+// bitten this codebase: Close/Sync lose durability acks in the store,
+// Flush loses buffered daemon output, Encode silently truncates HTTP
+// responses (the PR 8 bug).
+var checkedNames = map[string]bool{
+	"Close": true, "Sync": true, "Flush": true, "Encode": true,
+}
+
+// CheckedErr flags bare call statements that discard the error result of
+// Close, Sync, Flush, or Encode inside the durability-critical packages
+// (internal/store, internal/jobs, and the daemons). An explicit
+// `_ = f.Close()` is allowed — it is visible and greppable — and
+// `defer f.Close()` on read-side cleanup is conventional and skipped;
+// what this pass forbids is the silent statement-position drop.
+var CheckedErr = &Analyzer{
+	Name: "checkederr",
+	Doc: "flag discarded Close/Sync/Flush/Encode error results in the " +
+		"store, job manager, and daemons",
+	Run: runCheckedErr,
+}
+
+func runCheckedErr(pass *Pass) (any, error) {
+	if !ScopedTo(pass.Pkg.Path(), CheckedErrScope) {
+		return nil, nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			stmt, ok := n.(*ast.ExprStmt)
+			if !ok {
+				return true
+			}
+			call, ok := ast.Unparen(stmt.X).(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := funcObj(pass.TypesInfo, call)
+			if fn == nil || !checkedNames[fn.Name()] || !returnsError(fn) {
+				return true
+			}
+			pass.Report(call.Pos(), EscapeUnchecked,
+				"%s returns an error that is silently discarded; check it or make the discard explicit with `_ =`",
+				fn.Name())
+			return true
+		})
+	}
+	return nil, nil
+}

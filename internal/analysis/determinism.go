@@ -1,0 +1,66 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// EscapeNondeterministic is the audited-exception comment for the
+// determinism analyzer.
+const EscapeNondeterministic = "nondeterministic-ok"
+
+// Determinism enforces the bit-determinism contract of the construction
+// core: no map iteration (order varies per run), no wall-clock reads, no
+// draws from the global math/rand source. Everything a canonical
+// encoding or fingerprint flows through must produce identical bytes for
+// identical inputs — EXPERIMENTS.md reproduces verbatim only because of
+// this, and PR 1's minor-tiebreak bug is what it looks like when it
+// breaks. Audited sites carry //locshort:nondeterministic-ok with a
+// reason (timing-only instrumentation, order-insensitive folds).
+var Determinism = &Analyzer{
+	Name: "determinism",
+	Doc: "flag map iteration, time.Now/time.Since, and global math/rand use " +
+		"inside the deterministic core packages",
+	Run: runDeterminism,
+}
+
+func runDeterminism(pass *Pass) (any, error) {
+	if !ScopedTo(pass.Pkg.Path(), DeterministicCore) {
+		return nil, nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.RangeStmt:
+				t := pass.TypesInfo.TypeOf(n.X)
+				if t == nil {
+					return true
+				}
+				if _, isMap := t.Underlying().(*types.Map); isMap {
+					pass.Report(n.Pos(), EscapeNondeterministic,
+						"range over map %s in deterministic core (iteration order varies per run)",
+						types.TypeString(t, types.RelativeTo(pass.Pkg)))
+				}
+			case *ast.CallExpr:
+				fn := funcObj(pass.TypesInfo, n)
+				if fn == nil {
+					return true
+				}
+				for _, name := range [...]string{"Now", "Since"} {
+					if isPkgFunc(fn, "time", name) {
+						pass.Report(n.Pos(), EscapeNondeterministic,
+							"time.%s in deterministic core (wall clock is nondeterministic)", name)
+					}
+				}
+				if fn.Pkg() != nil && fn.Pkg().Path() == "math/rand" {
+					if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() == nil && fn.Name() != "New" && fn.Name() != "NewSource" {
+						pass.Report(n.Pos(), EscapeNondeterministic,
+							"global math/rand.%s in deterministic core (shared unseeded source); use a *rand.Rand with a fixed seed", fn.Name())
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil, nil
+}

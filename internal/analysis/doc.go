@@ -1,0 +1,57 @@
+// Package analysis is the repo's static-analysis layer: five custom
+// analyzers that turn the invariants the codebase depends on — prose in
+// DESIGN.md and reviewer memory until now — into machine-checked passes
+// run on every commit by cmd/locshortlint.
+//
+// The analyzers and the invariants they encode:
+//
+//   - determinism: the deterministic core (internal/graph, partition,
+//     tree, shortcut, dist, minor, wire, and the canonical encoders in
+//     internal/store) may not iterate maps, read wall-clock time, or
+//     draw from the global math/rand source. Canonical encodings must be
+//     bit-deterministic — every EXPERIMENTS.md table and every
+//     content-addressed fingerprint depends on it (PR 1 chased exactly
+//     this class of bug through internal/minor's greedy tie-breaking).
+//   - hotpath: functions marked //locshort:hotpath (Builder stages,
+//     warm-hit serving, wire encode/decode, store reads) may not call
+//     per-call formatters (fmt.Sprintf, errors.New, ...), box non-pointer
+//     values into interfaces, construct closures, or append inside loops
+//     to slices declared without capacity. PR 3's 2485→548-alloc Builder
+//     is the discipline being preserved.
+//   - atomics: a struct field accessed through sync/atomic anywhere must
+//     be accessed that way everywhere — the exact class of race PR 5
+//     fixed by hand in the request path.
+//   - checkederr: Close/Sync/Flush/Encode error results may not be
+//     silently discarded in internal/store, internal/jobs, or the
+//     daemons (PR 8 found a dropped json.Encode error by hand; this
+//     pass makes the next one impossible). An explicit `_ =` is a
+//     visible, greppable discard and is allowed; a bare call statement
+//     is not.
+//   - obsnil: every pointer-receiver method on an internal/obs type
+//     marked //locshort:nilsafe must start with a nil-receiver guard (or
+//     delegate every receiver use to a guarded method) — the documented
+//     "nil instruments are no-ops" contract that lets unobserved layers
+//     pay nothing.
+//
+// Audited exceptions are annotated in source with escape comments
+// (//locshort:nondeterministic-ok, alloc-ok, nonatomic-ok, unchecked-ok,
+// obsnil-ok), each carrying a human-readable reason. The escape applies
+// to the line it sits on, the line directly below it when it stands
+// alone, or the whole function when it appears in the function's doc
+// comment.
+//
+// The framework mirrors golang.org/x/tools/go/analysis (Analyzer, Pass,
+// Diagnostic) and golang.org/x/tools/go/analysis/analysistest (the
+// `// want "regexp"` fixture convention) so the passes port to the real
+// multichecker mechanically if that dependency is ever vendored. It is
+// implemented on the standard library alone — go/ast, go/types, and the
+// gc export-data importer fed by `go list -deps -export -json` — because
+// this module deliberately has no external dependencies (see go.mod) and
+// the build must work offline from a cold module cache.
+//
+// Role in the DAG: nothing imports this package; cmd/locshortlint drives
+// it over the tree, and CI runs it in the same matrix as gofmt and vet.
+// There is no paper mapping here: like internal/obs, this package
+// protects the reproduction (deterministic, comparable runs of the
+// Ghaffari–Haeupler construction) rather than implementing part of it.
+package analysis

@@ -1,0 +1,271 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// DirectiveHotpath marks a function as allocation-disciplined; the
+// hotpath analyzer checks every function whose doc comment carries it.
+const DirectiveHotpath = "hotpath"
+
+// EscapeAlloc is the audited-exception comment for the hotpath analyzer.
+const EscapeAlloc = "alloc-ok"
+
+// denyCalls are formatting/constructor calls that allocate on every
+// invocation and have no place on a hot path (PR 3's alloc discipline:
+// errors and format strings belong on the slow path or behind sentinels).
+var denyCalls = map[string]map[string]bool{
+	"fmt": {
+		"Sprintf": true, "Sprint": true, "Sprintln": true, "Errorf": true,
+		"Printf": true, "Print": true, "Println": true,
+		"Fprintf": true, "Fprint": true, "Fprintln": true,
+	},
+	"errors": {"New": true},
+	"log": {
+		"Printf": true, "Print": true, "Println": true,
+		"Fatalf": true, "Fatal": true, "Fatalln": true,
+	},
+}
+
+// Hotpath enforces allocation discipline inside //locshort:hotpath
+// functions: no per-call formatters or error constructors, no boxing of
+// non-pointer values into interface parameters, no closure construction,
+// and no append-in-loop into a slice declared without capacity. The
+// Builder's 2485→548-alloc rebuild (DESIGN.md §5) and the warm-hit
+// serving path are what this protects.
+var Hotpath = &Analyzer{
+	Name: "hotpath",
+	Doc: "enforce allocation discipline (no formatters, boxing, closures, " +
+		"or unsized append-in-loop) in //locshort:hotpath functions",
+	Run: runHotpath,
+}
+
+func runHotpath(pass *Pass) (any, error) {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !FuncHasDirective(fd, DirectiveHotpath) {
+				continue
+			}
+			checkHotFunc(pass, fd)
+		}
+	}
+	return nil, nil
+}
+
+func checkHotFunc(pass *Pass, fd *ast.FuncDecl) {
+	name := fd.Name.Name
+	decls := localSliceDecls(pass, fd)
+	var loopDepth int
+	var walk func(n ast.Node) bool
+	walk = func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.ForStmt, *ast.RangeStmt:
+			loopDepth++
+			ast.Inspect(loopBody(n), walk)
+			loopDepth--
+			// Range/init/cond/post expressions still need the plain checks.
+			inspectLoopHeader(n, walk)
+			return false
+		case *ast.FuncLit:
+			pass.Report(n.Pos(), EscapeAlloc,
+				"hotpath function %s constructs a closure (allocates per call)", name)
+			return true // still check the closure body at the same strictness
+		case *ast.CallExpr:
+			checkHotCall(pass, name, n, loopDepth > 0, decls)
+		}
+		return true
+	}
+	ast.Inspect(fd.Body, walk)
+}
+
+// loopBody returns the body block of a for or range statement.
+func loopBody(n ast.Node) *ast.BlockStmt {
+	switch n := n.(type) {
+	case *ast.ForStmt:
+		return n.Body
+	case *ast.RangeStmt:
+		return n.Body
+	}
+	return nil
+}
+
+// inspectLoopHeader applies walk to the non-body parts of a loop.
+func inspectLoopHeader(n ast.Node, walk func(ast.Node) bool) {
+	switch n := n.(type) {
+	case *ast.ForStmt:
+		for _, h := range []ast.Node{n.Init, n.Cond, n.Post} {
+			if h != nil {
+				ast.Inspect(h, walk)
+			}
+		}
+	case *ast.RangeStmt:
+		if n.X != nil {
+			ast.Inspect(n.X, walk)
+		}
+	}
+}
+
+func checkHotCall(pass *Pass, fname string, call *ast.CallExpr, inLoop bool, decls map[types.Object]sliceDecl) {
+	fn := funcObj(pass.TypesInfo, call)
+	if fn != nil && fn.Pkg() != nil {
+		if names := denyCalls[fn.Pkg().Path()]; names[fn.Name()] {
+			pass.Report(call.Pos(), EscapeAlloc,
+				"hotpath function %s calls %s.%s (allocates and formats per call)",
+				fname, fn.Pkg().Name(), fn.Name())
+			return // don't double-report its args as boxing
+		}
+	}
+	// Unsized append in a loop: append(x, ...) where x is a local slice
+	// declared with no capacity grows by repeated reallocation.
+	if inLoop && isBuiltin(pass.TypesInfo, call, "append") && len(call.Args) > 0 {
+		if target, ok := ast.Unparen(call.Args[0]).(*ast.Ident); ok {
+			if obj := pass.TypesInfo.Uses[target]; obj != nil {
+				if d, ok := decls[obj]; ok && !d.sized {
+					pass.Report(call.Pos(), EscapeAlloc,
+						"hotpath function %s appends in a loop to %s, declared without capacity (preallocate with make(..., 0, n))",
+						fname, target.Name)
+				}
+			}
+		}
+		return
+	}
+	checkBoxing(pass, fname, call)
+}
+
+// checkBoxing flags arguments whose concrete non-pointer values convert
+// implicitly to interface parameters — each such call boxes the value on
+// the heap.
+func checkBoxing(pass *Pass, fname string, call *ast.CallExpr) {
+	sigType := pass.TypesInfo.TypeOf(call.Fun)
+	if sigType == nil {
+		return
+	}
+	sig, ok := sigType.Underlying().(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			last := params.At(params.Len() - 1).Type()
+			sl, ok := last.(*types.Slice)
+			if !ok {
+				continue
+			}
+			pt = sl.Elem()
+		case i < params.Len():
+			pt = params.At(i).Type()
+		default:
+			continue
+		}
+		if !types.IsInterface(pt) {
+			continue
+		}
+		at := pass.TypesInfo.TypeOf(arg)
+		if at == nil || types.IsInterface(at) {
+			continue
+		}
+		switch at.Underlying().(type) {
+		case *types.Basic, *types.Struct, *types.Array:
+			if b, ok := at.Underlying().(*types.Basic); ok && b.Kind() == types.UntypedNil {
+				continue
+			}
+			pass.Report(arg.Pos(), EscapeAlloc,
+				"hotpath function %s boxes %s into an interface argument (heap-allocates per call)",
+				fname, types.TypeString(at, types.RelativeTo(pass.Pkg)))
+		}
+	}
+}
+
+// isBuiltin reports whether the call invokes the named builtin.
+func isBuiltin(info *types.Info, call *ast.CallExpr, name string) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != name {
+		return false
+	}
+	_, isB := info.Uses[id].(*types.Builtin)
+	return isB
+}
+
+// sliceDecl records how a local slice variable was declared.
+type sliceDecl struct{ sized bool }
+
+// localSliceDecls maps every slice-typed local of fd to whether its
+// declaration reserves capacity: `var s []T`, `s := []T{}`, and
+// `make([]T, 0)` do not; make with a length or capacity, non-empty
+// literals, and expression results do.
+func localSliceDecls(pass *Pass, fd *ast.FuncDecl) map[types.Object]sliceDecl {
+	decls := make(map[types.Object]sliceDecl)
+	record := func(id *ast.Ident, rhs ast.Expr) {
+		obj := pass.TypesInfo.Defs[id]
+		if obj == nil {
+			return
+		}
+		if _, isSlice := obj.Type().Underlying().(*types.Slice); !isSlice {
+			return
+		}
+		decls[obj] = sliceDecl{sized: rhsHasCapacity(pass, rhs)}
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if n.Tok.String() != ":=" || len(n.Lhs) != len(n.Rhs) {
+				return true
+			}
+			for i, lhs := range n.Lhs {
+				if id, ok := lhs.(*ast.Ident); ok {
+					record(id, n.Rhs[i])
+				}
+			}
+		case *ast.GenDecl:
+			for _, spec := range n.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for i, id := range vs.Names {
+					var rhs ast.Expr
+					if i < len(vs.Values) {
+						rhs = vs.Values[i]
+					}
+					record(id, rhs)
+				}
+			}
+		}
+		return true
+	})
+	return decls
+}
+
+// rhsHasCapacity reports whether the declaration expression reserves any
+// capacity (or comes from an expression whose sizing we can't see, which
+// is given the benefit of the doubt).
+func rhsHasCapacity(pass *Pass, rhs ast.Expr) bool {
+	switch rhs := ast.Unparen(rhs).(type) {
+	case nil:
+		return false // var s []T
+	case *ast.CompositeLit:
+		return len(rhs.Elts) > 0 // []T{} is unsized, []T{...} is not
+	case *ast.CallExpr:
+		if !isBuiltin(pass.TypesInfo, rhs, "make") {
+			return true
+		}
+		if len(rhs.Args) >= 3 {
+			return true // explicit capacity
+		}
+		if len(rhs.Args) == 2 {
+			// make([]T, n): sized unless n is literally 0.
+			if tv, ok := pass.TypesInfo.Types[rhs.Args[1]]; ok && tv.Value != nil && tv.Value.String() == "0" {
+				return false
+			}
+			return true
+		}
+		return false
+	default:
+		return true
+	}
+}

@@ -1,0 +1,217 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// DirectiveNilsafe marks a type whose pointer methods promise to no-op on
+// nil receivers; the obsnil analyzer enforces the promise.
+const DirectiveNilsafe = "nilsafe"
+
+// EscapeObsNil is the audited-exception comment for the obsnil analyzer.
+const EscapeObsNil = "obsnil-ok"
+
+// ObsNil enforces internal/obs's documented instrument contract: a nil
+// Counter, Gauge, Histogram, Logger, Tracer, or TraceBuilder is a no-op,
+// so unobserved layers can call instruments unconditionally and pay
+// nothing. Each instrument type carries //locshort:nilsafe on its
+// declaration; every pointer-receiver method of such a type must begin
+// with a nil-receiver guard, delegate every receiver use to a guarded
+// method, or not touch the receiver at all. Value-receiver methods on
+// nilsafe types are flagged outright — they dereference before the body
+// can check anything.
+var ObsNil = &Analyzer{
+	Name: "obsnil",
+	Doc: "require nil-receiver guards on every method of types marked " +
+		"//locshort:nilsafe (the obs no-op instrument contract)",
+	Run: runObsNil,
+}
+
+func runObsNil(pass *Pass) (any, error) {
+	if !ScopedTo(pass.Pkg.Path(), ObsScope) {
+		return nil, nil
+	}
+	marked := nilsafeTypes(pass)
+	if len(marked) == 0 {
+		return nil, nil
+	}
+	type method struct {
+		decl    *ast.FuncDecl
+		recvObj types.Object
+		ptr     bool
+		tname   string
+	}
+	var methods []method
+	guarded := make(map[string]bool) // "Type.Method" with a leading nil guard
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil || len(fd.Recv.List) != 1 {
+				continue
+			}
+			tname, ptr := recvTypeName(fd.Recv.List[0].Type)
+			if !marked[tname] {
+				continue
+			}
+			var recvObj types.Object
+			if names := fd.Recv.List[0].Names; len(names) == 1 {
+				recvObj = pass.TypesInfo.Defs[names[0]]
+			}
+			m := method{decl: fd, recvObj: recvObj, ptr: ptr, tname: tname}
+			methods = append(methods, m)
+			if ptr && fd.Body != nil && len(fd.Body.List) > 0 && recvObj != nil &&
+				isNilGuard(pass.TypesInfo, fd.Body.List[0], recvObj) {
+				guarded[tname+"."+fd.Name.Name] = true
+			}
+		}
+	}
+	for _, m := range methods {
+		fd := m.decl
+		if !m.ptr {
+			pass.Report(fd.Name.Pos(), EscapeObsNil,
+				"method %s.%s on nilsafe type uses a value receiver, which dereferences a nil pointer before any guard can run",
+				m.tname, fd.Name.Name)
+			continue
+		}
+		if guarded[m.tname+"."+fd.Name.Name] || fd.Body == nil {
+			continue
+		}
+		if m.recvObj == nil {
+			continue // no receiver name: the body cannot dereference it
+		}
+		if delegatesOnly(pass.TypesInfo, fd, m.recvObj, m.tname, guarded) {
+			continue
+		}
+		pass.Report(fd.Name.Pos(), EscapeObsNil,
+			"method %s.%s on nilsafe type must start with `if %s == nil { return ... }` (or delegate to a guarded method): nil instruments are documented no-ops",
+			m.tname, fd.Name.Name, m.recvObj.Name())
+	}
+	return nil, nil
+}
+
+// nilsafeTypes collects type names declared with //locshort:nilsafe.
+func nilsafeTypes(pass *Pass) map[string]bool {
+	marked := make(map[string]bool)
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.TYPE {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				if hasDirective(ts.Doc, DirectiveNilsafe) || (len(gd.Specs) == 1 && hasDirective(gd.Doc, DirectiveNilsafe)) {
+					marked[ts.Name.Name] = true
+				}
+			}
+		}
+	}
+	return marked
+}
+
+// recvTypeName unwraps a receiver type expression to its named type.
+func recvTypeName(e ast.Expr) (name string, ptr bool) {
+	if star, ok := e.(*ast.StarExpr); ok {
+		ptr = true
+		e = star.X
+	}
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name, ptr
+	case *ast.IndexExpr: // generic receiver T[P]
+		if id, ok := e.X.(*ast.Ident); ok {
+			return id.Name, ptr
+		}
+	}
+	return "", ptr
+}
+
+// isNilGuard reports whether stmt is `if recv == nil { ...; return }`
+// (the == nil test may be the left arm of an || chain).
+func isNilGuard(info *types.Info, stmt ast.Stmt, recv types.Object) bool {
+	ifs, ok := stmt.(*ast.IfStmt)
+	if !ok || ifs.Init != nil || ifs.Body == nil || len(ifs.Body.List) == 0 {
+		return false
+	}
+	if !condTestsRecvNil(info, ifs.Cond, recv) {
+		return false
+	}
+	_, isReturn := ifs.Body.List[len(ifs.Body.List)-1].(*ast.ReturnStmt)
+	return isReturn
+}
+
+// condTestsRecvNil reports whether cond contains `recv == nil` at the top
+// level of an ||-disjunction.
+func condTestsRecvNil(info *types.Info, cond ast.Expr, recv types.Object) bool {
+	be, ok := ast.Unparen(cond).(*ast.BinaryExpr)
+	if !ok {
+		return false
+	}
+	switch be.Op {
+	case token.LOR:
+		return condTestsRecvNil(info, be.X, recv) || condTestsRecvNil(info, be.Y, recv)
+	case token.EQL:
+		return (isRecvIdent(info, be.X, recv) && isNilIdent(info, be.Y)) ||
+			(isRecvIdent(info, be.Y, recv) && isNilIdent(info, be.X))
+	}
+	return false
+}
+
+func isRecvIdent(info *types.Info, e ast.Expr, recv types.Object) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	return ok && info.Uses[id] == recv
+}
+
+func isNilIdent(info *types.Info, e ast.Expr) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	_, isNil := info.Uses[id].(*types.Nil)
+	return isNil
+}
+
+// delegatesOnly reports whether every use of the receiver in fd's body is
+// as the receiver of a call to a nil-guarded method of the same type —
+// the Logger.Info -> Logger.log pattern, where the guard lives one call
+// down.
+func delegatesOnly(info *types.Info, fd *ast.FuncDecl, recv types.Object, tname string, guarded map[string]bool) bool {
+	sanctioned := make(map[*ast.Ident]bool)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		id, ok := ast.Unparen(sel.X).(*ast.Ident)
+		if !ok || info.Uses[id] != recv {
+			return true
+		}
+		if guarded[tname+"."+sel.Sel.Name] {
+			sanctioned[id] = true
+		}
+		return true
+	})
+	ok := true
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		id, isID := n.(*ast.Ident)
+		if !isID || info.Uses[id] != recv {
+			return true
+		}
+		if !sanctioned[id] {
+			ok = false
+		}
+		return true
+	})
+	// A body that never touches the receiver cannot dereference nil, so
+	// zero uses also passes.
+	return ok
+}

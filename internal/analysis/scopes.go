@@ -1,0 +1,90 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// DeterministicCore lists the packages whose outputs must be
+// bit-deterministic: everything a canonical encoding, fingerprint, or
+// EXPERIMENTS.md table flows through. Fixture packages match because
+// ScopedTo compares "/"-delimited suffixes.
+var DeterministicCore = []string{
+	"locshort/internal/graph",
+	"locshort/internal/partition",
+	"locshort/internal/tree",
+	"locshort/internal/shortcut",
+	"locshort/internal/dist",
+	"locshort/internal/minor",
+	"locshort/internal/wire",
+	"locshort/internal/congest",
+}
+
+// CheckedErrScope lists the packages where a silently dropped
+// Close/Sync/Flush/Encode error can lose durability or corrupt a
+// response: the store, the job manager, and the daemons.
+var CheckedErrScope = []string{
+	"locshort/internal/store",
+	"locshort/internal/jobs",
+	"locshort/cmd/locshortd",
+	"locshort/cmd/locshortctl",
+}
+
+// ObsScope is where the nil-instrument contract lives.
+var ObsScope = []string{
+	"locshort/internal/obs",
+}
+
+// All returns every analyzer in the suite, in reporting order.
+func All() []*Analyzer {
+	return []*Analyzer{
+		Determinism,
+		Hotpath,
+		Atomics,
+		CheckedErr,
+		ObsNil,
+	}
+}
+
+// funcObj resolves the called function or method object of a call, or nil.
+func funcObj(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := info.Uses[id].(*types.Func)
+	return fn
+}
+
+// isPkgFunc reports whether fn is the package-level function pkgPath.name.
+func isPkgFunc(fn *types.Func, pkgPath, name string) bool {
+	if fn == nil || fn.Pkg() == nil {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() != nil {
+		return false
+	}
+	return fn.Pkg().Path() == pkgPath && fn.Name() == name
+}
+
+// returnsError reports whether the function's results include an error.
+func returnsError(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return false
+	}
+	for i := 0; i < sig.Results().Len(); i++ {
+		if named, ok := sig.Results().At(i).Type().(*types.Named); ok {
+			if named.Obj().Pkg() == nil && named.Obj().Name() == "error" {
+				return true
+			}
+		}
+	}
+	return false
+}

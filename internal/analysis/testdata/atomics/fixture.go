@@ -1,0 +1,37 @@
+// Package fixture plants mixed atomic/plain accesses to the same field
+// and package variable — the race class the atomics analyzer exists to
+// catch — plus consistent usages and an audited escape it must not flag.
+package fixture
+
+import "sync/atomic"
+
+type stats struct {
+	n    uint64 // touched via sync/atomic: every access must be atomic
+	safe uint64 // never touched via sync/atomic: plain access is fine
+}
+
+func (s *stats) inc() { atomic.AddUint64(&s.n, 1) }
+
+func (s *stats) read() uint64 {
+	return s.n // want `n is accessed with atomic\.AddUint64 elsewhere in this package`
+}
+
+func (s *stats) readAtomic() uint64 { return atomic.LoadUint64(&s.n) }
+
+func (s *stats) plainSafe() uint64 { return s.safe }
+
+var hits uint64
+
+func bumpHits() { atomic.AddUint64(&hits, 1) }
+
+func readHits() uint64 {
+	return hits // want `hits is accessed with atomic\.AddUint64 elsewhere in this package`
+}
+
+// newStats writes the field before the value is published — the classic
+// audited exception.
+func newStats(initial uint64) *stats {
+	s := &stats{}
+	s.n = initial //locshort:nonatomic-ok pre-publication write in constructor (fixture audit)
+	return s
+}

@@ -1,0 +1,48 @@
+// Package fixture plants silently-discarded Close/Sync/Flush/Encode
+// errors — the drop class the checkederr analyzer forbids — plus every
+// allowed form: explicit `_ =` discard, defer, a real check, a
+// same-named method that returns nothing, and the audit escape. The test
+// harness loads it under locshort/internal/store so it falls inside the
+// durability-critical scope.
+package fixture
+
+type resource struct{}
+
+func (resource) Close() error { return nil }
+func (resource) Sync() error  { return nil }
+func (resource) Flush() error { return nil }
+func (resource) Encode(v any) error {
+	_ = v
+	return nil
+}
+
+// Done returns nothing; a bare statement call is fine.
+func (resource) Done() {}
+
+func drops(r resource) {
+	r.Close()     // want `Close returns an error that is silently discarded`
+	r.Sync()      // want `Sync returns an error that is silently discarded`
+	r.Flush()     // want `Flush returns an error that is silently discarded`
+	r.Encode(nil) // want `Encode returns an error that is silently discarded`
+	r.Done()
+}
+
+func explicitDiscard(r resource) {
+	_ = r.Close()
+}
+
+func deferred(r resource) error {
+	defer r.Close()
+	return r.Sync()
+}
+
+func checked(r resource) error {
+	if err := r.Flush(); err != nil {
+		return err
+	}
+	return r.Close()
+}
+
+func escaped(r resource) {
+	r.Close() //locshort:unchecked-ok crash-path cleanup, original error already propagating (fixture audit)
+}

@@ -1,0 +1,59 @@
+// Package fixture plants one instance of every construct the determinism
+// analyzer forbids, plus audited escapes and allowed forms it must not
+// flag. The test harness loads it under the import path
+// locshort/internal/graph so it falls inside the deterministic core.
+package fixture
+
+import (
+	"math/rand"
+	"time"
+)
+
+// mapOrder iterates a map: order varies per run, so canonical output
+// built this way would differ across processes.
+func mapOrder(m map[int]string) []string {
+	out := make([]string, 0, len(m))
+	for _, v := range m { // want `range over map map\[int\]string in deterministic core`
+		out = append(out, v)
+	}
+	return out
+}
+
+// wallClock reads the wall clock twice, both forbidden forms.
+func wallClock() time.Duration {
+	t0 := time.Now()      // want `time\.Now in deterministic core`
+	return time.Since(t0) // want `time\.Since in deterministic core`
+}
+
+// globalRand draws from the shared unseeded source.
+func globalRand() int {
+	return rand.Intn(10) // want `global math/rand\.Intn in deterministic core`
+}
+
+// seededRand is the sanctioned alternative: an explicit *rand.Rand with a
+// fixed seed. rand.New and rand.NewSource are constructors, not draws,
+// and method calls on the local generator are deterministic given the seed.
+func seededRand() int {
+	r := rand.New(rand.NewSource(42))
+	return r.Intn(10)
+}
+
+// auditedMapRange shows the escape hatch: an order-insensitive fold over
+// a map is safe, and the audit comment suppresses the diagnostic.
+func auditedMapRange(m map[int]int) int {
+	sum := 0
+	//locshort:nondeterministic-ok order-insensitive sum (fixture audit)
+	for _, v := range m {
+		sum += v
+	}
+	return sum
+}
+
+// sliceRange must not be flagged: slice iteration order is defined.
+func sliceRange(xs []int) int {
+	total := 0
+	for _, x := range xs {
+		total += x
+	}
+	return total
+}

@@ -1,0 +1,71 @@
+// Package fixture plants one instance of every construct the hotpath
+// analyzer forbids inside //locshort:hotpath functions — per-call
+// formatters, closures, interface boxing, unsized append-in-loop — plus
+// the escapes and allowed forms it must not flag. Unmarked functions are
+// exempt no matter what they do.
+package fixture
+
+import "fmt"
+
+// sink exists to receive interface arguments; it is unmarked, so its own
+// body is not checked.
+func sink(v interface{}) { _ = v }
+
+//locshort:hotpath
+func denyCall(id int) string {
+	return fmt.Sprintf("g-%d", id) // want `hotpath function denyCall calls fmt\.Sprintf`
+}
+
+//locshort:hotpath
+func closes(xs []int) func() int {
+	f := func() int { return len(xs) } // want `hotpath function closes constructs a closure`
+	return f
+}
+
+//locshort:hotpath
+func boxes(v int) {
+	sink(v) // want `hotpath function boxes boxes int into an interface argument`
+}
+
+// boxesPointer must not be flagged: pointers convert to interfaces
+// without copying the pointee to the heap at the call site.
+//
+//locshort:hotpath
+func boxesPointer(v *int) {
+	sink(v)
+}
+
+//locshort:hotpath
+func appendsUnsized(xs []int) []int {
+	var out []int
+	for _, x := range xs {
+		out = append(out, x) // want `appends in a loop to out, declared without capacity`
+	}
+	return out
+}
+
+// appendsSized must not be flagged: the slice reserves capacity up front.
+//
+//locshort:hotpath
+func appendsSized(xs []int) []int {
+	out := make([]int, 0, len(xs))
+	for _, x := range xs {
+		out = append(out, x)
+	}
+	return out
+}
+
+// escaped shows the audit hatch on a cold branch inside a hot function.
+//
+//locshort:hotpath
+func escaped(id int, fail bool) string {
+	if fail {
+		return fmt.Sprintf("g-%d", id) //locshort:alloc-ok error path (fixture audit)
+	}
+	return "ok"
+}
+
+// unmarked is exempt: the analyzer only checks functions that opt in.
+func unmarked(id int) string {
+	return fmt.Sprintf("g-%d", id)
+}

@@ -1,0 +1,48 @@
+// Package fixture exercises the obsnil analyzer: a type marked
+// //locshort:nilsafe whose methods variously honor the nil-receiver
+// contract (leading guard, delegation to a guarded method, no receiver
+// use), break it (unguarded dereference, value receiver), or carry the
+// audit escape. Unmarked types are exempt. The test harness loads it
+// under locshort/internal/obs, the analyzer's scope.
+package fixture
+
+// Counter mimics an obs instrument: a nil *Counter must be a no-op.
+//
+//locshort:nilsafe
+type Counter struct{ n uint64 }
+
+// guarded is the contract-conforming shape.
+func (c *Counter) guarded() {
+	if c == nil {
+		return
+	}
+	c.n++
+}
+
+// guardedOr shows the guard as the left arm of an || chain.
+func (c *Counter) guardedOr(enabled bool) {
+	if c == nil || !enabled {
+		return
+	}
+	c.n++
+}
+
+func (c *Counter) unguarded() { // want `method Counter\.unguarded on nilsafe type must start with`
+	c.n++
+}
+
+func (c Counter) valueRecv() uint64 { return c.n } // want `method Counter\.valueRecv on nilsafe type uses a value receiver`
+
+// delegates touches the receiver only to call a guarded method.
+func (c *Counter) delegates() { c.guarded() }
+
+// pure never touches the receiver, so it cannot dereference nil.
+func (c *Counter) pure() int { return 42 }
+
+//locshort:obsnil-ok callers hold a non-nil receiver by construction (fixture audit)
+func (c *Counter) escaped() { c.n++ }
+
+// plain is unmarked: the contract is opt-in, so nothing here is checked.
+type plain struct{ n uint64 }
+
+func (p *plain) inc() { p.n++ }

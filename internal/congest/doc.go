@@ -17,4 +17,10 @@
 // protocol — BFS waves, the Theorem 1.5 cut waves, part-wise aggregation
 // schedules — on this simulator, and its measured round counts are the
 // "Measured" column of the DESIGN.md round-accounting discipline.
+//
+// The package is part of the deterministic core policed by the
+// internal/analysis lint suite (DESIGN.md §12): no map iteration, no
+// wall-clock reads, no global math/rand — identical inputs must produce
+// identical bytes. Audited exceptions carry //locshort:nondeterministic-ok
+// with a reason; cmd/locshortlint enforces the rest in CI.
 package congest

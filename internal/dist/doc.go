@@ -40,4 +40,10 @@
 // internal/shortcut, and internal/congest. internal/service runs MST,
 // MinCut, and aggregation jobs through this package against cached
 // shortcuts; internal/bench's E3–E13 experiments measure it.
+//
+// The package is part of the deterministic core policed by the
+// internal/analysis lint suite (DESIGN.md §12): no map iteration, no
+// wall-clock reads, no global math/rand — identical inputs must produce
+// identical bytes. Audited exceptions carry //locshort:nondeterministic-ok
+// with a reason; cmd/locshortlint enforces the rest in CI.
 package dist

@@ -102,6 +102,7 @@ func (r *PARouting) installPart(g *graph.Graph, s *shortcut.Shortcut, i int) err
 	for _, id := range s.H[i] {
 		addEdge(id)
 	}
+	//locshort:nondeterministic-ok each key's slice is sorted independently; visit order cannot change the result
 	for v := range adj {
 		as := adj[v]
 		sort.Slice(as, func(x, y int) bool {
@@ -149,6 +150,7 @@ func (r *PARouting) installPart(g *graph.Graph, s *shortcut.Shortcut, i int) err
 	// Children edge lists.
 	childEdges := make(map[int][]int)
 	nodes := make([]int, 0, len(adj))
+	//locshort:nondeterministic-ok keys are collected and sorted before any order-sensitive use
 	for v := range adj {
 		nodes = append(nodes, v)
 	}
@@ -387,6 +389,7 @@ func runPA(g *graph.Graph, r *PARouting, op Op, values, perPart []Payload,
 			}
 		}
 		p.queueEdges = make([]int, 0, len(edgeSet))
+		//locshort:nondeterministic-ok keys are collected and sorted before any order-sensitive use
 		for e := range edgeSet {
 			p.queueEdges = append(p.queueEdges, e)
 		}

@@ -26,4 +26,10 @@
 // packed-adjacency view, MultiBFSInto and Reset slice-reuse constructors)
 // lives here so that the layers above can stay allocation-free; see
 // DESIGN.md §5.
+//
+// The package is part of the deterministic core policed by the
+// internal/analysis lint suite (DESIGN.md §12): no map iteration, no
+// wall-clock reads, no global math/rand — identical inputs must produce
+// identical bytes. Audited exceptions carry //locshort:nondeterministic-ok
+// with a reason; cmd/locshortlint enforces the rest in CI.
 package graph

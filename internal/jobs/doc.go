@@ -44,4 +44,9 @@
 // restarts. Re-execution is safe because the underlying builds are
 // content-addressed: a re-run of an interrupted build typically completes
 // from the shortcut store without rebuilding.
+//
+// The package is inside the checked-error scope policed by the
+// internal/analysis lint suite (DESIGN.md §12): Close/Sync/Flush/Encode
+// error results may not be silently discarded — check them or make the
+// discard explicit with `_ =`. cmd/locshortlint enforces this in CI.
 package jobs

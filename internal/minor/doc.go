@@ -11,4 +11,10 @@
 // yields a dense bipartite minor witness, ExtractCertificate); the E9/E10
 // experiments in internal/bench compare greedy witnesses against the
 // analytic bounds; cmd/minorfind is its standalone driver.
+//
+// The package is part of the deterministic core policed by the
+// internal/analysis lint suite (DESIGN.md §12): no map iteration, no
+// wall-clock reads, no global math/rand — identical inputs must produce
+// identical bytes. Audited exceptions carry //locshort:nondeterministic-ok
+// with a reason; cmd/locshortlint enforces the rest in CI.
 package minor

@@ -51,6 +51,7 @@ func GreedyDenseMinor(g *graph.Graph, rng *rand.Rand) *Mapping {
 			break
 		}
 		// Contract v into u.
+		//locshort:nondeterministic-ok set-semantics merge: the final adj/edgeCount state is identical for every iteration order
 		for w := range adj[v] {
 			delete(adj[w], v)
 			if w != u && !adj[u][w] {
@@ -86,6 +87,7 @@ func pickContraction(adj []map[int]bool, alive []bool, rng *rand.Rand) (int, int
 			continue
 		}
 		nbrs := make([]int, 0, len(adj[u]))
+		//locshort:nondeterministic-ok keys are collected and sorted before any order-sensitive use
 		for v := range adj[u] {
 			if v > u {
 				nbrs = append(nbrs, v)
@@ -98,6 +100,7 @@ func pickContraction(adj []map[int]bool, alive []bool, rng *rand.Rand) (int, int
 			if len(large) < len(small) {
 				small, large = large, small
 			}
+			//locshort:nondeterministic-ok pure counting fold, order-insensitive
 			for w := range small {
 				if large[w] {
 					common++
@@ -135,6 +138,7 @@ func snapshot(adj []map[int]bool, members [][]int, alive []bool, aliveCount int)
 		}
 		// Deterministic edge order for reproducibility.
 		nbrs := make([]int, 0, len(adj[u]))
+		//locshort:nondeterministic-ok keys are collected and sorted before any order-sensitive use
 		for v := range adj[u] {
 			if v > u {
 				nbrs = append(nbrs, v)

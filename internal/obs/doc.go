@@ -33,4 +33,9 @@
 // stage names it reports — BFS forest, doubling-search levels, part-set
 // sweep, Case (I) assembly — are the phases of the Theorem 1.5/3.1
 // pipeline as implemented by internal/shortcut.
+//
+// The nil-no-op contract is mechanically enforced: instrument types carry
+// //locshort:nilsafe and the internal/analysis obsnil analyzer
+// (DESIGN.md §12) requires every pointer method to guard or delegate;
+// cmd/locshortlint fails CI otherwise.
 package obs

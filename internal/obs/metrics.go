@@ -23,29 +23,71 @@ const (
 // names (the caller's responsibility — all call sites use literals).
 type Labels map[string]string
 
-// Counter is a monotonically increasing atomic counter.
+// Counter is a monotonically increasing atomic counter. A nil *Counter is
+// a no-op: every method tolerates it, so unobserved layers record
+// unconditionally and pay only the nil check (the obsnil analyzer
+// enforces this).
+//
+//locshort:nilsafe
 type Counter struct{ v atomic.Uint64 }
 
 // Inc adds one.
-func (c *Counter) Inc() { c.v.Add(1) }
+//
+//locshort:hotpath
+func (c *Counter) Inc() {
+	if c == nil {
+		return
+	}
+	c.v.Add(1)
+}
 
 // Add adds n.
-func (c *Counter) Add(n uint64) { c.v.Add(n) }
+//
+//locshort:hotpath
+func (c *Counter) Add(n uint64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
 
 // Value returns the current count.
-func (c *Counter) Value() uint64 { return c.v.Load() }
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
 
-// Gauge is an atomic instantaneous value.
+// Gauge is an atomic instantaneous value. A nil *Gauge is a no-op, like
+// every obs instrument.
+//
+//locshort:nilsafe
 type Gauge struct{ v atomic.Int64 }
 
 // Set replaces the value.
-func (g *Gauge) Set(n int64) { g.v.Store(n) }
+func (g *Gauge) Set(n int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(n)
+}
 
 // Add adjusts the value by n (negative to decrease).
-func (g *Gauge) Add(n int64) { g.v.Add(n) }
+func (g *Gauge) Add(n int64) {
+	if g == nil {
+		return
+	}
+	g.v.Add(n)
+}
 
 // Value returns the current value.
-func (g *Gauge) Value() int64 { return g.v.Load() }
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
 
 // DefBuckets is the default latency histogram layout: 100µs to 10s in
 // roughly 2.5x steps, chosen so both a warm cache hit (~1ms) and a cold
@@ -58,7 +100,10 @@ var DefBuckets = []float64{
 // Histogram is a fixed-bucket latency histogram. Bounds are upper bounds in
 // seconds, strictly increasing; an implicit +Inf bucket catches the rest.
 // Observe is wait-free: one linear scan over at most len(bounds) floats and
-// two atomic adds, no allocation.
+// two atomic adds, no allocation. A nil *Histogram is a no-op, like every
+// obs instrument.
+//
+//locshort:nilsafe
 type Histogram struct {
 	bounds []float64
 	counts []atomic.Uint64 // len(bounds)+1; last is the +Inf bucket
@@ -79,7 +124,12 @@ func newHistogram(bounds []float64) *Histogram {
 }
 
 // Observe records one duration.
+//
+//locshort:hotpath
 func (h *Histogram) Observe(d time.Duration) {
+	if h == nil {
+		return
+	}
 	s := d.Seconds()
 	i := 0
 	for i < len(h.bounds) && s > h.bounds[i] {
@@ -94,6 +144,9 @@ func (h *Histogram) Observe(d time.Duration) {
 // merging (buckets are read independently; a scrape racing observations can
 // be off by the in-flight observation, like any atomic counter set).
 func (h *Histogram) Snapshot() HistogramSnapshot {
+	if h == nil {
+		return HistogramSnapshot{}
+	}
 	s := HistogramSnapshot{
 		Bounds: h.bounds,
 		Counts: make([]uint64, len(h.counts)),

@@ -27,7 +27,10 @@ type Trace struct {
 }
 
 // TraceBuilder accumulates spans for one in-flight operation. It is not
-// safe for concurrent use; each construction owns its builder.
+// safe for concurrent use; each construction owns its builder. A nil
+// *TraceBuilder is a no-op — the untraced path calls through it freely.
+//
+//locshort:nilsafe
 type TraceBuilder struct {
 	t     Trace
 	start time.Time
@@ -43,20 +46,36 @@ func StartTrace(op string) *TraceBuilder {
 }
 
 // SetGraph annotates the trace with the graph spec being built.
-func (b *TraceBuilder) SetGraph(g string) { b.t.Graph = g }
+func (b *TraceBuilder) SetGraph(g string) {
+	if b == nil {
+		return
+	}
+	b.t.Graph = g
+}
 
 // SetFingerprint annotates the trace with the shortcut fingerprint.
-func (b *TraceBuilder) SetFingerprint(fp string) { b.t.Fingerprint = fp }
+func (b *TraceBuilder) SetFingerprint(fp string) {
+	if b == nil {
+		return
+	}
+	b.t.Fingerprint = fp
+}
 
 // Add appends a stage that started at the given offset from the trace start
 // and ran for dur.
 func (b *TraceBuilder) Add(name string, start, dur time.Duration) {
+	if b == nil {
+		return
+	}
 	b.t.Spans = append(b.t.Spans, Span{Name: name, StartNs: start.Nanoseconds(), DurNs: dur.Nanoseconds()})
 }
 
 // Span times a stage inline: call at the stage start, invoke the returned
 // func at its end.
 func (b *TraceBuilder) Span(name string) func() {
+	if b == nil {
+		return func() {}
+	}
 	begin := time.Now()
 	return func() {
 		b.Add(name, begin.Sub(b.start), time.Since(begin))
@@ -65,11 +84,19 @@ func (b *TraceBuilder) Span(name string) func() {
 
 // Elapsed returns the time since the trace started — the Start offset an
 // Add call made now would use.
-func (b *TraceBuilder) Elapsed() time.Duration { return time.Since(b.start) }
+func (b *TraceBuilder) Elapsed() time.Duration {
+	if b == nil {
+		return 0
+	}
+	return time.Since(b.start)
+}
 
 // Finish stamps the total duration and returns the completed, immutable
 // trace. The builder must not be used afterwards.
 func (b *TraceBuilder) Finish() *Trace {
+	if b == nil {
+		return nil
+	}
 	b.t.DurNs = time.Since(b.start).Nanoseconds()
 	t := b.t
 	return &t
@@ -77,7 +104,10 @@ func (b *TraceBuilder) Finish() *Trace {
 
 // Tracer retains the most recent traces in a fixed ring. Publish and Recent
 // are safe for concurrent use; retained traces are immutable, so Recent's
-// copies share span slices with writers without racing them.
+// copies share span slices with writers without racing them. A nil *Tracer
+// drops everything, like every obs instrument.
+//
+//locshort:nilsafe
 type Tracer struct {
 	mu   sync.Mutex
 	ring []*Trace

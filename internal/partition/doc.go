@@ -16,4 +16,10 @@
 // internal/store) consumes partitions; internal/service additionally
 // defines their canonical byte encoding (AppendPartitionCanonical) for
 // content addressing and persistence.
+//
+// The package is part of the deterministic core policed by the
+// internal/analysis lint suite (DESIGN.md §12): no map iteration, no
+// wall-clock reads, no global math/rand — identical inputs must produce
+// identical bytes. Audited exceptions carry //locshort:nondeterministic-ok
+// with a reason; cmd/locshortlint enforces the rest in CI.
 package partition

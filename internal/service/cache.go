@@ -62,6 +62,7 @@ func newCache(shards, capacity int, metrics *counters) *cache {
 	return c
 }
 
+//locshort:hotpath
 func (c *cache) shard(key Fingerprint) *cacheShard { return c.shards[uint64(key)&c.mask] }
 
 // getOrBuild returns the cached value for key, waiting on an in-flight
@@ -69,6 +70,8 @@ func (c *cache) shard(key Fingerprint) *cacheShard { return c.shards[uint64(key)
 // hit reports whether the entry was already complete at lookup — the
 // latency-relevant distinction: singleflight joiners wait out most of a
 // build, so they report hit=false even though they count as cache hits.
+//
+//locshort:hotpath
 func (c *cache) getOrBuild(ctx context.Context, key Fingerprint, build func() (*Cached, error)) (v *Cached, hit bool, err error) {
 	s := c.shard(key)
 	s.mu.Lock()
@@ -97,6 +100,7 @@ func (c *cache) getOrBuild(ctx context.Context, key Fingerprint, build func() (*
 	s.mu.Unlock()
 	c.metrics.misses.Add(1)
 
+	//locshort:alloc-ok miss path: the build this goroutine runs dwarfs the closure
 	go func() {
 		val, err := build()
 		s.mu.Lock()
@@ -128,6 +132,8 @@ func (c *cache) getOrBuild(ctx context.Context, key Fingerprint, build func() (*
 // It touches the LRU but deliberately does not count toward hits/misses:
 // those counters track build-or-get traffic (the hit-rate denominator),
 // and peek serves job lookups that never could have built.
+//
+//locshort:hotpath
 func (c *cache) peek(key Fingerprint) (*Cached, bool) {
 	s := c.shard(key)
 	s.mu.Lock()

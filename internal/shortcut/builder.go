@@ -26,8 +26,10 @@ type stageClock struct {
 	stages []Stage
 }
 
+//locshort:nondeterministic-ok timing-only instrumentation: stage clocks feed traces and metrics, never the construction
 func newStageClock() *stageClock { return &stageClock{start: time.Now()} }
 
+//locshort:nondeterministic-ok timing-only instrumentation: stage clocks feed traces and metrics, never the construction
 func (sc *stageClock) since() time.Duration {
 	if sc == nil {
 		return 0
@@ -44,6 +46,8 @@ func (sc *stageClock) add(name string, start, dur time.Duration) {
 
 // span times an inline stage: call at the stage start, invoke the returned
 // func at its end.
+//
+//locshort:nondeterministic-ok timing-only instrumentation: stage clocks feed traces and metrics, never the construction
 func (sc *stageClock) span(name string) func() {
 	if sc == nil {
 		return func() {}
@@ -432,12 +436,12 @@ func (ls *levelState) runLevel(g *graph.Graph, t *tree.Rooted, p *partition.Part
 			ls.sweep(t, p, c, active, pr)
 			progress = ls.assemble(g, t, p, active, b, s, true)
 		} else {
-			t0 := time.Now()
+			t0 := time.Now() //locshort:nondeterministic-ok timing-only: levelTimes feeds the stage trace, never the construction
 			ls.sweep(t, p, c, active, pr)
-			t1 := time.Now()
+			t1 := time.Now() //locshort:nondeterministic-ok timing-only: levelTimes feeds the stage trace, never the construction
 			progress = ls.assemble(g, t, p, active, b, s, true)
 			lt.sweep += t1.Sub(t0)
-			lt.assemble += time.Since(t1)
+			lt.assemble += time.Since(t1) //locshort:nondeterministic-ok timing-only: levelTimes feeds the stage trace, never the construction
 		}
 		remaining -= progress
 		if remaining == 0 {
@@ -460,6 +464,8 @@ func (ls *levelState) runLevel(g *graph.Graph, t *tree.Rooted, p *partition.Part
 // (The map-based reference breaks depth ties by merge history instead;
 // both satisfy the paper's minimal-depth requirement, and the canonical
 // shortcut does not depend on representative identity.)
+//
+//locshort:hotpath
 func (ls *levelState) sweep(t *tree.Rooted, p *partition.Partition, c int, active []bool, pr *Partial) {
 	for i := range ls.cutAbove {
 		ls.cutAbove[i] = false
@@ -494,6 +500,7 @@ func (ls *levelState) sweep(t *tree.Rooted, p *partition.Partition, c int, activ
 						reps = append(reps, PartRep{Part: int(key - 1), Rep: int(sv.reps[j])})
 					}
 				}
+				//locshort:alloc-ok certificate path: pr is non-nil only on the final iteration of a failed level
 				sort.Slice(reps, func(a, b int) bool { return reps[a].Part < reps[b].Part })
 				for _, rp := range reps {
 					pr.DegB[rp.Part]++
@@ -528,6 +535,8 @@ func (ls *levelState) sweep(t *tree.Rooted, p *partition.Partition, c int, activ
 // covered with all its ancestor edges in the forest, written into s. When
 // deactivate is set, covered parts are removed from active (the harvest
 // step of the level loop). Returns the number of parts covered.
+//
+//locshort:hotpath
 func (ls *levelState) assemble(g *graph.Graph, t *tree.Rooted, p *partition.Partition, active []bool, b int,
 	s *Shortcut, deactivate bool) int {
 	// Component roots of T\O, top-down.
@@ -602,6 +611,7 @@ type setPool struct {
 	free [][]*partSet
 }
 
+//locshort:hotpath
 func (sp *setPool) get(class int) *partSet {
 	for len(sp.free) <= class {
 		sp.free = append(sp.free, nil)
@@ -615,6 +625,7 @@ func (sp *setPool) get(class int) *partSet {
 	return &partSet{keys: make([]int32, n), reps: make([]int32, n)}
 }
 
+//locshort:hotpath
 func (sp *setPool) put(s *partSet) {
 	for i := range s.keys {
 		s.keys[i] = 0
@@ -626,6 +637,8 @@ func (sp *setPool) put(s *partSet) {
 // insert adds (part, rep) to s (allocating it if nil), keeping the
 // minimal-depth, minimal-ID representative on conflicts, and returns the
 // (possibly grown) set.
+//
+//locshort:hotpath
 func (ls *levelState) insert(s *partSet, part, rep int32, depth []int) *partSet {
 	if s == nil {
 		s = ls.sets.get(minSetClass)
@@ -654,6 +667,8 @@ func (ls *levelState) insert(s *partSet, part, rep int32, depth []int) *partSet 
 }
 
 // grow rehashes s into a set of twice the capacity and recycles s.
+//
+//locshort:hotpath
 func (ls *levelState) grow(s *partSet) *partSet {
 	bigger := ls.sets.get(bits.TrailingZeros(uint(len(s.keys))) + 1)
 	mask := uint32(len(bigger.keys) - 1)
@@ -675,6 +690,8 @@ func (ls *levelState) grow(s *partSet) *partSet {
 
 // mergeInto inserts every entry of src into dst and returns the (possibly
 // grown) dst. Entries combine by the minimal-depth, minimal-ID rule.
+//
+//locshort:hotpath
 func (ls *levelState) mergeInto(dst, src *partSet, depth []int) *partSet {
 	for j, key := range src.keys {
 		if key != 0 {

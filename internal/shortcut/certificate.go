@@ -114,6 +114,7 @@ func buildCandidate(g *graph.Graph, t *tree.Rooted, p *partition.Partition, pr *
 	}
 	// Fill component branch sets (only components that host an edge-node).
 	wanted := make(map[int]int, len(edgeNodeOf))
+	//locshort:nondeterministic-ok all v in one component map to the same memoized j, so write order cannot change the result
 	for v, j := range edgeNodeOf {
 		wanted[comp.Find(v)] = j
 	}

@@ -25,4 +25,10 @@
 // internal/service caches Build results behind a singleflight, and
 // internal/store persists them. The pre-Builder construction is preserved
 // in reference.go as the executable specification.
+//
+// The package is part of the deterministic core policed by the
+// internal/analysis lint suite (DESIGN.md §12): no map iteration, no
+// wall-clock reads, no global math/rand — identical inputs must produce
+// identical bytes. Audited exceptions carry //locshort:nondeterministic-ok
+// with a reason; cmd/locshortlint enforces the rest in CI.
 package shortcut

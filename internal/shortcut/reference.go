@@ -57,6 +57,7 @@ func buildPartialReference(g *graph.Graph, t *tree.Rooted, p *partition.Partitio
 			e := t.ParentEdge[v]
 			pr.Overcongested = append(pr.Overcongested, e)
 			reps := make([]PartRep, 0, len(sv))
+			//locshort:nondeterministic-ok reps are sorted by part below; DegB increments are order-insensitive
 			for part, rep := range sv {
 				reps = append(reps, PartRep{Part: part, Rep: rep})
 				pr.DegB[part]++
@@ -74,6 +75,7 @@ func buildPartialReference(g *graph.Graph, t *tree.Rooted, p *partition.Partitio
 				sp, sv = sv, sp
 				S[parent] = sp
 			}
+			//locshort:nondeterministic-ok per-key merge: distinct parts never interact, and each part resolves by a strict depth comparison
 			for part, rep := range sv {
 				if cur, ok := sp[part]; !ok || t.Depth[rep] < t.Depth[cur] {
 					sp[part] = rep

@@ -46,4 +46,9 @@
 // the dependency points downward), and internal/jobs (record decoding
 // for verification; store likewise implements jobs.Store). Consumed by
 // cmd/locshortd and cmd/locshortctl.
+//
+// The package is inside the checked-error scope policed by the
+// internal/analysis lint suite (DESIGN.md §12): Close/Sync/Flush/Encode
+// error results may not be silently discarded — check them or make the
+// discard explicit with `_ =`. cmd/locshortlint enforces this in CI.
 package store

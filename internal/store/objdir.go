@@ -252,7 +252,7 @@ func (d *dirPayloads) put(kind byte, key service.Fingerprint, payload []byte) er
 		return err
 	}
 	fail := func(err error) error {
-		f.Close()
+		_ = f.Close() // best-effort: the original error must propagate
 		d.fsys.Remove(tmp)
 		return err
 	}

@@ -327,7 +327,7 @@ func (s *Store) startSegment(seq int) error {
 	// rotation retry with EEXIST even after the underlying fault clears
 	// (a real bug the errfs fault suite shook out).
 	fail := func(err error) error {
-		f.Close()
+		_ = f.Close() // best-effort: the original error must propagate
 		s.fs.Remove(s.segPath(seq))
 		return err
 	}
@@ -653,10 +653,12 @@ func (s *Store) appendRecord(kind byte, key service.Fingerprint, payload []byte)
 // valid until Close even across a GC (see Store.retired). The pread
 // fallback keeps the historical behavior: fresh buffer, checksum
 // re-verified on every read.
+//
+//locshort:hotpath
 func (s *Store) readPayload(ref recordRef) ([]byte, error) {
 	seg, ok := s.segs[ref.seg]
 	if !ok {
-		return nil, fmt.Errorf("store: segment %d vanished", ref.seg)
+		return nil, fmt.Errorf("store: segment %d vanished", ref.seg) //locshort:alloc-ok corruption path
 	}
 	if seg.data != nil && ref.off+ref.size <= int64(len(seg.data)) {
 		// Three-index form so an append by a careless caller reallocates
@@ -671,6 +673,7 @@ func (s *Store) readPayload(ref recordRef) ([]byte, error) {
 	crc = crc32.Update(crc, crcTable, frame[9:13])
 	crc = crc32.Update(crc, crcTable, frame[frameHdrSize:])
 	if crc != binary.BigEndian.Uint32(frame[13:]) {
+		//locshort:alloc-ok corruption path: a failed checksum never serves
 		return nil, fmt.Errorf("store: record %s/%c: checksum mismatch on read",
 			service.Fingerprint(binary.BigEndian.Uint64(frame[1:])), frame[0])
 	}
@@ -768,6 +771,8 @@ func (s *Store) getGraphRef(fp service.Fingerprint, ref recordRef) (*graph.Graph
 }
 
 // GetGraph decodes the live graph record for fp, if any.
+//
+//locshort:hotpath
 func (s *Store) GetGraph(fp service.Fingerprint) (*graph.Graph, bool, error) {
 	s.mu.RLock()
 	ref, ok := s.index[indexKey{kind: kindGraph, key: fp}]
@@ -831,6 +836,8 @@ func (s *Store) PutShortcut(key, graphFP service.Fingerprint, parts *partition.P
 // GetShortcut loads and reconstructs the shortcut stored under key against
 // the live representative g and the requested partition. Implements
 // service.Store.
+//
+//locshort:hotpath
 func (s *Store) GetShortcut(key service.Fingerprint, g *graph.Graph, parts *partition.Partition) (
 	*shortcut.Result, time.Duration, bool, error) {
 
@@ -863,6 +870,8 @@ func (s *Store) PutJob(id uint64, payload []byte) error {
 }
 
 // GetJob returns the live job record payload for id, if any.
+//
+//locshort:hotpath
 func (s *Store) GetJob(id uint64) ([]byte, bool, error) {
 	s.mu.RLock()
 	ref, ok := s.index[indexKey{kind: kindJob, key: service.Fingerprint(id)}]
@@ -1174,7 +1183,7 @@ func (s *Store) GC() (GCStats, error) {
 	}
 	defer s.fs.Remove(tmpPath)
 	if _, err := tmp.Write([]byte(segMagic)); err != nil {
-		tmp.Close()
+		_ = tmp.Close() // best-effort: the write error must propagate
 		return st, err
 	}
 	newRefs := make(map[indexKey]recordRef, len(keeps))
@@ -1182,16 +1191,16 @@ func (s *Store) GC() (GCStats, error) {
 	for _, k := range keeps {
 		seg, ok := s.segs[k.ref.seg]
 		if !ok {
-			tmp.Close()
+			_ = tmp.Close() // best-effort: the lookup error must propagate
 			return st, fmt.Errorf("store: segment %d vanished during gc", k.ref.seg)
 		}
 		frame := make([]byte, k.ref.size)
 		if _, err := seg.f.ReadAt(frame, k.ref.off); err != nil {
-			tmp.Close()
+			_ = tmp.Close() // best-effort: the read error must propagate
 			return st, err
 		}
 		if _, err := tmp.Write(frame); err != nil {
-			tmp.Close()
+			_ = tmp.Close() // best-effort: the write error must propagate
 			return st, err
 		}
 		ref := k.ref
@@ -1201,7 +1210,7 @@ func (s *Store) GC() (GCStats, error) {
 		st.LiveRecords++
 	}
 	if err := tmp.Sync(); err != nil {
-		tmp.Close()
+		_ = tmp.Close() // best-effort: the fsync error must propagate
 		return st, err
 	}
 	oldBytes := int64(0)
@@ -1209,7 +1218,7 @@ func (s *Store) GC() (GCStats, error) {
 		oldBytes += seg.size
 	}
 	if err := s.fs.Rename(tmpPath, s.segPath(nextSeq)); err != nil {
-		tmp.Close()
+		_ = tmp.Close() // best-effort: the rename error must propagate
 		return st, err
 	}
 	s.fs.SyncDir(s.dir)
@@ -1223,7 +1232,7 @@ func (s *Store) GC() (GCStats, error) {
 			s.retired = append(s.retired, seg.data)
 			seg.data = nil
 		}
-		seg.f.Close()
+		_ = seg.f.Close() // best-effort: the compacted segment is already durable
 		s.fs.Remove(s.segPath(seq))
 		delete(s.segs, seq)
 	}

@@ -238,7 +238,9 @@ func runRoundTrip(t *testing.T, f Factory) {
 		if st := b2.OpenStats(); st.Graphs != 0 || st.Shortcuts != 0 || st.Jobs != 0 {
 			t.Fatalf("ephemeral backend not empty after restart: %+v", st)
 		}
-		b2.Close()
+		if err := b2.Close(); err != nil {
+			t.Fatalf("Close: %v", err)
+		}
 		return
 	}
 	b2 := f.Reopen(t, dir)
@@ -749,7 +751,9 @@ func runFailedFsync(t *testing.T, f Factory) {
 	}
 	fx1.checkGet(t, b)
 	mustVerifyClean(t, b)
-	b.Close()
+	if err := b.Close(); err != nil {
+		t.Fatalf("Close before reopen: %v", err)
+	}
 
 	b2 := f.Reopen(t, dir)
 	defer b2.Close()
@@ -792,7 +796,9 @@ func runTornWrite(t *testing.T, f Factory) {
 	}
 	fx1.checkGet(t, b)
 	mustVerifyClean(t, b)
-	b.Close()
+	if err := b.Close(); err != nil {
+		t.Fatalf("Close before reopen: %v", err)
+	}
 
 	b2 := f.Reopen(t, dir)
 	defer b2.Close()
@@ -848,7 +854,9 @@ func runFaultMidGC(t *testing.T, f Factory) {
 		fx.checkGet(t, b)
 	}
 	mustVerifyClean(t, b)
-	b.Close()
+	if err := b.Close(); err != nil {
+		t.Fatalf("Close before reopen: %v", err)
+	}
 
 	b2 := f.Reopen(t, dir)
 	defer b2.Close()
@@ -990,7 +998,9 @@ func runCrashSweep(t *testing.T, f Factory) {
 				t.Fatalf("dry run %s: %v", st.desc, err)
 			}
 		}
-		b.Close()
+		if err := b.Close(); err != nil {
+			t.Fatalf("dry-run Close: %v", err)
+		}
 		return efs.Ops()
 	}()
 	if total == 0 {
@@ -1013,7 +1023,7 @@ func runCrashSweep(t *testing.T, f Factory) {
 						st.apply(model)
 					}
 				}
-				b.Close() // errors expected under a crashed FS
+				_ = b.Close() // errors expected under a crashed FS
 			}
 
 			b2 := f.Reopen(t, dir)

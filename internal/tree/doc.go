@@ -11,4 +11,10 @@
 // trees through FromParents and aggregates over them; internal/store
 // persists a shortcut's restriction tree as parent-edge IDs and rebuilds it
 // with FromParents on load.
+//
+// The package is part of the deterministic core policed by the
+// internal/analysis lint suite (DESIGN.md §12): no map iteration, no
+// wall-clock reads, no global math/rand — identical inputs must produce
+// identical bytes. Audited exceptions carry //locshort:nondeterministic-ok
+// with a reason; cmd/locshortlint enforces the rest in CI.
 package tree

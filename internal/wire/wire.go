@@ -15,6 +15,12 @@
 // status codes, error envelopes (errors are always JSON) — is shared with
 // the JSON protocol, and the two are byte-equivalent where they overlap:
 // the same payload bytes, the same fingerprints.
+//
+// The package is part of the deterministic core policed by the
+// internal/analysis lint suite (DESIGN.md §12) — codec output must be
+// byte-deterministic — and its codec functions carry //locshort:hotpath,
+// arming the per-call allocation rules; cmd/locshortlint enforces both
+// in CI.
 package wire
 
 import (
@@ -54,6 +60,8 @@ const (
 // binary protocol. Parameters after ';' are ignored; the binary protocol
 // has none, but a client that appends charset noise should still be
 // understood.
+//
+//locshort:hotpath
 func IsBinary(v string) bool {
 	if i := strings.IndexByte(v, ';'); i >= 0 {
 		v = v[:i]
@@ -85,6 +93,8 @@ type ShortcutRequest struct {
 const maxRequestString = 1 << 16
 
 // AppendShortcutRequest renders r in binary form, appending to b.
+//
+//locshort:hotpath
 func AppendShortcutRequest(b []byte, r ShortcutRequest) []byte {
 	b = append(b, shortcutRequestVersion)
 	b = binary.BigEndian.AppendUint64(b, uint64(r.Graph))
@@ -98,37 +108,45 @@ func AppendShortcutRequest(b []byte, r ShortcutRequest) []byte {
 
 // DecodeShortcutRequest parses a binary shortcut request body. The decoded
 // strings are copies; the caller may recycle b.
+//
+//locshort:hotpath
 func DecodeShortcutRequest(b []byte) (ShortcutRequest, error) {
 	var r ShortcutRequest
 	if len(b) < 1+8 || b[0] != shortcutRequestVersion {
-		return r, fmt.Errorf("wire: shortcut request: bad version or truncated")
+		return r, fmt.Errorf("wire: shortcut request: bad version or truncated") //locshort:alloc-ok reject path
 	}
 	r.Graph = service.Fingerprint(binary.BigEndian.Uint64(b[1:]))
 	b = b[9:]
-	readString := func(what string) (string, error) {
-		n, used := binary.Uvarint(b)
-		if used <= 0 || n > maxRequestString || uint64(len(b)-used) < n {
-			return "", fmt.Errorf("wire: shortcut request: truncated %s", what)
-		}
-		s := string(b[used : used+int(n)])
-		b = b[used+int(n):]
-		return s, nil
-	}
-	var err error
-	if r.Partition, err = readString("partition spec"); err != nil {
-		return r, err
+	var ok bool
+	if r.Partition, b, ok = readLenString(b); !ok {
+		return r, fmt.Errorf("wire: shortcut request: truncated partition spec") //locshort:alloc-ok reject path
 	}
 	seed, used := binary.Varint(b)
 	if used <= 0 {
-		return r, fmt.Errorf("wire: shortcut request: truncated seed")
+		return r, fmt.Errorf("wire: shortcut request: truncated seed") //locshort:alloc-ok reject path
 	}
 	b = b[used:]
 	r.Seed = seed
-	if r.Options, err = readString("options"); err != nil {
-		return r, err
+	if r.Options, b, ok = readLenString(b); !ok {
+		return r, fmt.Errorf("wire: shortcut request: truncated options") //locshort:alloc-ok reject path
 	}
 	if len(b) != 0 {
-		return r, fmt.Errorf("wire: shortcut request: %d trailing bytes", len(b))
+		return r, fmt.Errorf("wire: shortcut request: %d trailing bytes", len(b)) //locshort:alloc-ok reject path
 	}
 	return r, nil
+}
+
+// readLenString decodes one uvarint-length-prefixed string field,
+// returning the string (a copy — the caller may recycle b), the remaining
+// bytes, and whether the field was well-formed. A named function rather
+// than a closure inside DecodeShortcutRequest: the closure captured b by
+// reference and so allocated on every decode, on the warm serving path.
+//
+//locshort:hotpath
+func readLenString(b []byte) (string, []byte, bool) {
+	n, used := binary.Uvarint(b)
+	if used <= 0 || n > maxRequestString || uint64(len(b)-used) < n {
+		return "", b, false
+	}
+	return string(b[used : used+int(n)]), b[used+int(n):], true
 }
